@@ -1,0 +1,26 @@
+"""Benchmark-suite helpers.
+
+Each bench regenerates one table/figure of the paper at laptop scale,
+prints the rows/series the paper reports, writes them to
+``benchmarks/results/<name>.txt`` and asserts the paper's qualitative
+shape.  Set ``REPRO_BENCH_SCALE`` (default 1.0) to multiply every input
+size — e.g. ``REPRO_BENCH_SCALE=4 pytest benchmarks/`` runs closer to the
+paper's input sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

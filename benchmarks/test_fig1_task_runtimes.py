@@ -1,0 +1,47 @@
+"""Fig. 1 — map task runtimes of wordcount in heterogeneous clusters.
+
+Paper shape: the slowest map runs ~2x the fastest on the physical cluster;
+the virtual cluster shows a heavy tail with tasks up to ~5x slower.
+"""
+
+import numpy as np
+from conftest import bench_scale, save_result
+
+from repro.experiments.figures import fig1_task_runtimes
+from repro.experiments.report import render_table
+from repro.metrics.stats import straggler_ratio, tail_slowdown_fraction
+
+
+def test_fig1_map_runtime_spread(benchmark):
+    input_mb = 4096.0 * bench_scale()
+
+    def run():
+        return fig1_task_runtimes(input_mb=input_mb, seed=1)
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for cluster, runtimes in data.items():
+        arr = np.asarray(runtimes)
+        rows.append([
+            cluster,
+            float(arr.min()),
+            float(np.median(arr)),
+            float(arr.max()),
+            straggler_ratio(runtimes),
+            tail_slowdown_fraction(runtimes, factor=3.0),
+        ])
+    text = render_table(
+        "Fig. 1 -- wordcount map runtimes (Hadoop-64m)",
+        ["cluster", "min_s", "median_s", "max_s", "max/min", "frac>3x_med"],
+        rows,
+        col_width=12,
+    )
+    save_result("fig1_task_runtimes", text)
+
+    phys, virt = data["physical"], data["virtual"]
+    # Physical: roughly 2x spread from hardware generations (pressure
+    # episodes can stretch individual tasks further).
+    assert 1.6 <= straggler_ratio(phys) <= 8.0
+    # Virtual: interference produces a heavier tail than hardware alone.
+    assert straggler_ratio(virt) > straggler_ratio(phys) * 0.8
+    assert straggler_ratio(virt) >= 3.0

@@ -1,0 +1,89 @@
+"""Fig. 3 — implications of map task size.
+
+(a) PDF of normalized map runtimes at 8 vs 64 MB on the virtual cluster:
+    small tasks concentrate, large tasks grow a heavy tail.
+(b,c) homogeneous cluster: productivity rises with task size (from ~0.3 at
+    8 MB to >=0.85 at 256 MB) and JCT falls as overhead amortizes.
+(d) heterogeneous cluster: JCT is U-shaped — past the sweet spot, load
+    imbalance outweighs the overhead savings — and efficiency decays.
+"""
+
+import numpy as np
+from conftest import bench_scale, save_result
+
+from repro.experiments.figures import (
+    TASK_SIZES_MB,
+    fig3a_runtime_pdf,
+    fig3bcd_task_size_sweep,
+)
+from repro.experiments.report import render_series, render_table
+
+
+def test_fig3a_runtime_pdf(benchmark):
+    input_mb = 4096.0 * bench_scale()
+
+    def run():
+        return fig3a_runtime_pdf(input_mb=input_mb, seed=1)
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_series(
+        "Fig. 3a -- PDF of normalized map runtimes (virtual cluster)",
+        data.series,
+        [round(x, 3) for x in data.xs],
+    )
+    save_result("fig3a_runtime_pdf", text)
+    # Small tasks: low variance of normalized runtime; 64 MB: heavier spread.
+    xs = np.asarray(data.xs)
+
+    def spread(name):
+        dens = np.asarray(data.series[name])
+        mean = np.sum(xs * dens) / np.sum(dens)
+        return float(np.sqrt(np.sum(dens * (xs - mean) ** 2) / np.sum(dens)))
+
+    assert spread("8MB") < spread("64MB")
+
+
+def test_fig3bc_homogeneous_sweep(benchmark):
+    input_mb = 4096.0 * bench_scale()
+
+    def run():
+        return fig3bcd_task_size_sweep(input_mb=input_mb, cluster="homogeneous")
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_series(
+        "Fig. 3b/3c -- JCT & productivity vs task size (homogeneous 6-node)",
+        data.series,
+        list(TASK_SIZES_MB),
+    )
+    save_result("fig3bc_homogeneous", text)
+    prod = data.series["productivity"]
+    jct = data.series["jct_s"]
+    # Productivity strictly improves with size and spans the paper's range.
+    assert all(a < b for a, b in zip(prod, prod[1:]))
+    assert prod[0] < 0.45, "8 MB maps should be startup-dominated (paper: 0.28)"
+    assert prod[-1] > 0.85
+    # JCT at 8 MB is far worse than at the larger sizes.
+    assert jct[0] > 1.5 * min(jct)
+
+
+def test_fig3d_heterogeneous_sweep(benchmark):
+    input_mb = 4096.0 * bench_scale()
+
+    def run():
+        return fig3bcd_task_size_sweep(input_mb=input_mb, cluster="heterogeneous",
+                                       seeds=[1, 2, 3])
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_series(
+        "Fig. 3d -- JCT & efficiency vs task size (heterogeneous 6-node)",
+        data.series,
+        list(TASK_SIZES_MB),
+    )
+    save_result("fig3d_heterogeneous", text)
+    jct = data.series["jct_s"]
+    eff = data.series["efficiency"]
+    # U-shape: the best size is interior, both extremes are worse.
+    best = int(np.argmin(jct))
+    assert 0 < best < len(jct) - 1, f"JCT not U-shaped: {jct}"
+    # Efficiency decays as tasks grow past the balance point.
+    assert eff[-1] < max(eff)

@@ -1,0 +1,68 @@
+"""Fig. 5 — normalized job completion time across the PUMA suite on the
+physical and virtual clusters.
+
+Paper shape: FlexMap gives the largest reductions on map-heavy benchmarks
+(up to ~40% vs stock), SkewTune only a few percent over stock, and FlexMap
+gains little (or regresses) on the reduce-dominated inverted-index and
+tera-sort.  Gains are larger on the virtual cluster than the physical one.
+"""
+
+import numpy as np
+from conftest import bench_scale, save_result
+
+from repro.experiments.figures import FIG5_ENGINES, fig5_fig6_benchmarks
+from repro.experiments.report import render_table
+
+MAP_HEAVY = ("WC", "GR", "HR", "HM")
+REDUCE_HEAVY = ("II", "TS")
+
+
+def _render(cluster, jct):
+    rows = [
+        [ab] + [jct.series[e][i] for e in FIG5_ENGINES]
+        for i, ab in enumerate(jct.xs)
+    ]
+    return render_table(
+        f"Fig. 5 -- normalized JCT vs Hadoop-64m ({cluster} cluster)",
+        ["bench"] + FIG5_ENGINES,
+        rows,
+        col_width=14,
+    )
+
+
+def _flex_gain(jct, ab):
+    """FlexMap's JCT reduction vs the best stock setting (paper's metric)."""
+    i = jct.xs.index(ab)
+    best_stock = min(jct.series["hadoop-64"][i], jct.series["hadoop-128"][i])
+    return 1.0 - jct.series["flexmap"][i] / best_stock
+
+
+def test_fig5_physical(benchmark):
+    scale = 1.0 * bench_scale()
+
+    def run():
+        return fig5_fig6_benchmarks(cluster="physical", seeds=[1, 2, 3], scale=scale)
+
+    jct, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig5_physical", _render("physical", jct))
+    gains = [_flex_gain(jct, ab) for ab in MAP_HEAVY]
+    assert np.mean(gains) > 0.0, f"FlexMap should win on map-heavy: {gains}"
+    # SkewTune lands between stock and FlexMap on average for map-heavy jobs.
+    skew = np.mean([jct.series["skewtune-64"][jct.xs.index(ab)] for ab in MAP_HEAVY])
+    flex = np.mean([jct.series["flexmap"][jct.xs.index(ab)] for ab in MAP_HEAVY])
+    assert flex <= skew + 0.05
+
+
+def test_fig5_virtual(benchmark):
+    scale = 1.0 * bench_scale()
+
+    def run():
+        return fig5_fig6_benchmarks(cluster="virtual", seeds=[1, 2, 3], scale=scale)
+
+    jct, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig5_virtual", _render("virtual", jct))
+    map_gains = [_flex_gain(jct, ab) for ab in MAP_HEAVY]
+    reduce_gains = [_flex_gain(jct, ab) for ab in REDUCE_HEAVY]
+    assert np.mean(map_gains) > 0.0
+    # Reduce-dominated jobs benefit less than map-heavy ones.
+    assert np.mean(map_gains) >= np.mean(reduce_gains) - 0.05

@@ -1,0 +1,56 @@
+"""Fig. 6 — job efficiency (eq. 2) across the PUMA suite.
+
+Paper shape: FlexMap improves efficiency substantially on map-heavy
+benchmarks in both environments (15-42% physical, 25-48% virtual); gains
+shrink for the reduce-dominated benchmarks.
+"""
+
+import numpy as np
+from conftest import bench_scale, save_result
+
+from repro.experiments.figures import FIG5_ENGINES, fig5_fig6_benchmarks
+from repro.experiments.report import render_table
+
+MAP_HEAVY = ("WC", "GR", "HR", "HM")
+
+
+def _render(cluster, eff):
+    rows = [
+        [ab] + [eff.series[e][i] for e in FIG5_ENGINES]
+        for i, ab in enumerate(eff.xs)
+    ]
+    return render_table(
+        f"Fig. 6 -- job efficiency, eq. (2) ({cluster} cluster)",
+        ["bench"] + FIG5_ENGINES,
+        rows,
+        col_width=14,
+    )
+
+
+def _check(eff):
+    flex = np.mean([eff.series["flexmap"][eff.xs.index(ab)] for ab in MAP_HEAVY])
+    stock = np.mean([eff.series["hadoop-64"][eff.xs.index(ab)] for ab in MAP_HEAVY])
+    assert flex > stock, f"FlexMap efficiency {flex:.3f} <= stock {stock:.3f}"
+    assert 0.0 < flex <= 1.0
+
+
+def test_fig6_physical(benchmark):
+    scale = 1.0 * bench_scale()
+
+    def run():
+        return fig5_fig6_benchmarks(cluster="physical", seeds=[1, 2, 3], scale=scale)
+
+    _, eff = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig6_physical", _render("physical", eff))
+    _check(eff)
+
+
+def test_fig6_virtual(benchmark):
+    scale = 1.0 * bench_scale()
+
+    def run():
+        return fig5_fig6_benchmarks(cluster="virtual", seeds=[1, 2, 3], scale=scale)
+
+    _, eff = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig6_virtual", _render("virtual", eff))
+    _check(eff)

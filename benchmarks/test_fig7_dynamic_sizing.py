@@ -1,0 +1,69 @@
+"""Fig. 7 — task size and productivity during histogram-ratings execution.
+
+Paper shape: both node classes start at one BU; the fast node grows its
+mapper size several times larger than the slow node's (32 vs 8 BUs on the
+physical cluster, 64 vs 2 on the virtual one) and reaches high
+productivity, while the slow node never gets there before the map phase
+completes.
+"""
+
+import numpy as np
+from conftest import bench_scale, save_result
+
+from repro.experiments.figures import fig7_dynamic_sizing
+from repro.experiments.report import render_table
+
+
+def _summarize(cluster, data):
+    rows = []
+    for role in ("fast", "slow"):
+        sizes = data.series[f"{role}-size-bus"]
+        prods = data.series[f"{role}-productivity"]
+        rows.append([
+            role,
+            sizes[0],
+            int(max(sizes)),
+            float(np.mean(sorted(prods)[-3:])),
+            len(sizes),
+        ])
+    return render_table(
+        f"Fig. 7 -- dynamic mapper sizing, histogram-ratings ({cluster})",
+        ["node", "first_bus", "peak_bus", "top3_prod", "tasks"],
+        rows,
+    )
+
+
+def _check(data):
+    fast_sizes = data.series["fast-size-bus"]
+    slow_sizes = data.series["slow-size-bus"]
+    # Everyone starts at one BU (Algorithm 1 initialization).
+    assert fast_sizes[0] == 1 and slow_sizes[0] == 1
+    # The fast node grows substantially larger than the slow node.
+    assert max(fast_sizes) >= 2 * max(slow_sizes), (
+        f"fast peak {max(fast_sizes)} vs slow peak {max(slow_sizes)}"
+    )
+    # And reaches higher productivity than it started with.
+    fast_prods = data.series["fast-productivity"]
+    assert max(fast_prods) > fast_prods[0]
+
+
+def test_fig7_physical(benchmark):
+    input_mb = 6144.0 * bench_scale()
+
+    def run():
+        return fig7_dynamic_sizing(cluster="physical", input_mb=input_mb, seed=2)
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig7_physical", _summarize("physical", data) + "\n" + data.notes)
+    _check(data)
+
+
+def test_fig7_virtual(benchmark):
+    input_mb = 6144.0 * bench_scale()
+
+    def run():
+        return fig7_dynamic_sizing(cluster="virtual", input_mb=input_mb, seed=2)
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig7_virtual", _summarize("virtual", data) + "\n" + data.notes)
+    _check(data)

@@ -1,0 +1,67 @@
+"""Fig. 8 — normalized JCT on the 40-node multi-tenant cluster with 5%,
+10%, 20% and 40% of nodes slowed by co-running background jobs.
+
+Paper shape: with few slow nodes speculation keeps stock Hadoop close to
+FlexMap; as the slow fraction grows, Hadoop with and without speculation
+converge while FlexMap's margin expands (up to ~40%).  SkewTune helps with
+a few stragglers and approaches stock as slow machines multiply.
+"""
+
+import numpy as np
+from conftest import bench_scale, save_result
+
+from repro.experiments.figures import FIG8_ENGINES, fig8_multitenant
+from repro.experiments.report import render_table
+
+#: Subset keeps the default bench run under a couple of minutes; the full
+#: suite runs with REPRO_BENCH_FIG8_FULL=1.
+BENCHMARKS = ("WC", "II", "GR", "HR", "TS")
+
+
+def test_fig8_slow_node_sweep(benchmark):
+    import os
+
+    benchmarks = BENCHMARKS
+    if os.environ.get("REPRO_BENCH_FIG8_FULL"):
+        from repro.workloads.puma import FIGURE_ORDER
+
+        benchmarks = FIGURE_ORDER
+    scale = 0.0625 * bench_scale()
+
+    def run():
+        return fig8_multitenant(benchmarks=benchmarks, seeds=[1, 2], scale=scale)
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    blocks = []
+    for frac, fig in sorted(data.items()):
+        rows = [
+            [ab] + [fig.series[e][i] for e in FIG8_ENGINES]
+            for i, ab in enumerate(fig.xs)
+        ]
+        blocks.append(render_table(
+            f"Fig. 8 -- normalized JCT, {int(frac * 100)}% slow nodes",
+            ["bench"] + FIG8_ENGINES,
+            rows,
+            col_width=18,
+        ))
+    save_result("fig8_multitenant", "\n\n".join(blocks))
+
+    # FlexMap's mean margin over stock grows (or at least persists) from the
+    # easy regime (5%) to the hard one (40%).
+    def flex_margin(frac):
+        fig = data[frac]
+        return float(np.mean([
+            1.0 - f for f in fig.series["flexmap"]
+        ]))
+
+    assert flex_margin(0.4) > -0.05, "FlexMap should not lose at 40% slow nodes"
+    # Speculation converges toward no-speculation as slow nodes multiply:
+    # the gap at 40% is no larger than ~the gap at 5%.
+    def spec_gap(frac):
+        fig = data[frac]
+        return float(np.mean(fig.series["hadoop-nospec-64"]) - 1.0)
+
+    assert spec_gap(0.4) <= spec_gap(0.05) + 0.25
+    # FlexMap beats stock on average across the heavy regimes.
+    heavy = np.mean([flex_margin(0.2), flex_margin(0.4)])
+    assert heavy > 0.0

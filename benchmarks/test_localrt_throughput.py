@@ -1,0 +1,61 @@
+"""Local executable runtime: uniform vs elastic sizing on real wordcount.
+
+Not a paper figure — it grounds the simulator's headline claim on genuinely
+executed map/reduce functions (deliverable per DESIGN.md §2) and benchmarks
+the runtime's real wall-clock throughput.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.experiments.report import render_table
+from repro.localrt import (
+    ElasticSplitter,
+    LocalRuntime,
+    UniformSplitter,
+    WorkerSpec,
+    wordcount_job,
+)
+from repro.workloads.datagen import wikipedia_lines
+
+
+def _bus(num_lines=30_000, bu_records=100):
+    lines = wikipedia_lines(num_lines, np.random.default_rng(7))
+    return [lines[i : i + bu_records] for i in range(0, len(lines), bu_records)]
+
+
+def test_local_elastic_vs_uniform(benchmark):
+    bus = _bus()
+    pool = [WorkerSpec("a", 1.0), WorkerSpec("b", 1.0), WorkerSpec("fast", 4.0)]
+    rt = LocalRuntime(pool, overhead_s=2.0, records_per_s=200.0)
+    job = wordcount_job()
+
+    def run():
+        return (
+            rt.run(job, bus, UniformSplitter(8)),
+            rt.run(job, bus, ElasticSplitter()),
+        )
+
+    uniform, elastic = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert uniform.output == elastic.output, "real results must agree"
+    rows = [
+        ["uniform", uniform.map_phase_s, uniform.jct_s, uniform.efficiency(3)],
+        ["elastic", elastic.map_phase_s, elastic.jct_s, elastic.efficiency(3)],
+    ]
+    save_result(
+        "localrt_elastic",
+        render_table("Local runtime -- real wordcount, 1:1:4 worker pool",
+                     ["policy", "map_phase_s", "jct_s", "efficiency"], rows,
+                     col_width=14),
+    )
+    assert elastic.map_phase_s < uniform.map_phase_s
+
+
+def test_local_runtime_wall_clock_throughput(benchmark):
+    """Real records/second through map+combine+shuffle+reduce."""
+    bus = _bus(num_lines=10_000)
+    rt = LocalRuntime([WorkerSpec("w", 1.0)])
+    job = wordcount_job()
+
+    result = benchmark(lambda: rt.run(job, bus, UniformSplitter(8)))
+    assert sum(result.output.values()) > 0

@@ -1,0 +1,40 @@
+"""Table II — PUMA benchmark details, plus a throughput benchmark of the
+synthetic data generators that stand in for Wikipedia/Netflix/TeraGen."""
+
+import numpy as np
+from conftest import save_result
+
+from repro.experiments.report import render_table
+from repro.workloads.datagen import generate
+from repro.workloads.puma import PUMA_BENCHMARKS
+
+
+def test_table2_benchmark_details(benchmark):
+    def rows():
+        return [
+            [w.name, w.abbrev, f"{w.small_gb:g}/{w.large_gb:g}", w.data_source,
+             w.shuffle_ratio, "map-heavy" if w.map_heavy else "mixed/reduce"]
+            for w in PUMA_BENCHMARKS
+        ]
+
+    data = benchmark(rows)
+    text = render_table(
+        "Table II -- PUMA benchmark details (small/large input in GB)",
+        ["benchmark", "abbr", "input_gb", "data", "shuffle", "class"],
+        data,
+        col_width=19,
+    )
+    save_result("table2_puma", text)
+    assert len(data) == 8
+
+
+def test_table2_data_generators(benchmark):
+    def gen():
+        rng = np.random.default_rng(1)
+        return {
+            src: generate(src, 2000, rng)
+            for src in ("Wikipedia", "Netflix", "TeraGen")
+        }
+
+    data = benchmark(gen)
+    assert all(len(lines) == 2000 for lines in data.values())

@@ -1,0 +1,43 @@
+"""Watch FlexMap's dynamic mapper sizing (paper Fig. 7): task size and
+productivity over map-phase progress on the fastest and slowest nodes of
+the physical and virtual clusters, running histogram-ratings.
+
+    python examples/dynamic_sizing_timeline.py [input_gb=4]
+"""
+
+import sys
+
+from repro.experiments.figures import fig7_dynamic_sizing
+
+
+def sparkline(values, width=60, symbols=" .:-=+*#%@") -> str:
+    if not values:
+        return ""
+    peak = max(values) or 1.0
+    step = max(1, len(values) // width)
+    picks = values[::step][:width]
+    return "".join(symbols[min(len(symbols) - 1, int(v / peak * (len(symbols) - 1)))] for v in picks)
+
+
+def main() -> None:
+    input_gb = float(sys.argv[1]) if len(sys.argv) > 1 else 4.0
+    for cluster in ("physical", "virtual"):
+        data = fig7_dynamic_sizing(cluster=cluster, input_mb=input_gb * 1024.0, seed=2)
+        print(f"--- {cluster} cluster ({data.notes}) ---")
+        for role in ("fast", "slow"):
+            sizes = data.series[f"{role}-size-bus"]
+            prods = data.series[f"{role}-productivity"]
+            print(f"{role:>5} node: final size {sizes[-1]:>3d} BUs "
+                  f"({sizes[-1] * 8} MB), peak size {max(sizes)} BUs, "
+                  f"final productivity {prods[-1]:.2f}")
+            print(f"       size over phase  |{sparkline(sizes)}|")
+            print(f"       prod over phase  |{sparkline(prods)}|")
+        print()
+    print("Expected shape (paper Fig. 7): the fast node grows to ~4x the slow")
+    print("node's task size (32 vs 8 BUs physical; 64 vs 2 BUs virtual) and")
+    print("reaches high productivity; the slow node never does before the")
+    print("map phase ends.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Reproduce the shape of the paper's Figs. 5 & 6 at laptop scale: run a
+subset of the PUMA suite on the physical and virtual clusters under the
+four compared engines, reporting normalized JCT and job efficiency.
+
+    python examples/heterogeneity_study.py [scale=0.2]
+
+``scale`` multiplies Table II's small input sizes (1.0 = paper scale).
+"""
+
+import sys
+
+from repro.experiments.figures import FIG5_ENGINES, fig5_fig6_benchmarks
+from repro.experiments.report import render_table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    benchmarks = ("WC", "II", "GR", "HR", "TS")
+    for cluster in ("physical", "virtual"):
+        jct, eff = fig5_fig6_benchmarks(
+            cluster=cluster, benchmarks=benchmarks, seeds=[1, 2], scale=scale
+        )
+        rows = [
+            [ab] + [jct.series[e][i] for e in FIG5_ENGINES]
+            for i, ab in enumerate(benchmarks)
+        ]
+        print(render_table(
+            f"Fig. 5 shape — normalized JCT, {cluster} cluster (scale={scale:g})",
+            ["bench"] + FIG5_ENGINES, rows, col_width=14,
+        ))
+        rows = [
+            [ab] + [eff.series[e][i] for e in FIG5_ENGINES]
+            for i, ab in enumerate(benchmarks)
+        ]
+        print()
+        print(render_table(
+            f"Fig. 6 shape — job efficiency, {cluster} cluster",
+            ["bench"] + FIG5_ENGINES, rows, col_width=14,
+        ))
+        print()
+    print("Expected shape (paper): FlexMap lowest JCT / highest efficiency on")
+    print("map-heavy benchmarks (WC, GR, HR); little or no gain on the")
+    print("reduce-dominated II and TS; SkewTune between stock and FlexMap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Spark-style iterative workload (paper §IV-G): a kmeans-like job that
+scans the same cached input every iteration on a heterogeneous cluster.
+
+Stock Hadoop pays the straggler tax every iteration; FlexMap pays its
+sizing ramp once and then runs every subsequent iteration with learned
+per-node task sizes.
+
+    python examples/iterative_ml.py [iterations=6] [input_gb=4]
+"""
+
+import sys
+
+from repro.experiments.clusters import heterogeneous6_cluster
+from repro.experiments.iterative import run_iterative_job
+from repro.workloads.puma import puma
+
+
+def main() -> None:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    input_gb = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
+    input_mb = input_gb * 1024.0
+
+    configs = [
+        ("hadoop-64", dict()),
+        ("flexmap (cold)", dict(warm_start=False)),
+        ("flexmap (warm)", dict(warm_start=True)),
+    ]
+    print(f"kmeans-like iterative job, {iterations} iterations over "
+          f"{input_gb:g} GB, 6-node heterogeneous cluster\n")
+    print(f"{'engine':>16} " + " ".join(f"it{i+1:>2}" for i in range(iterations))
+          + f" {'total':>8}")
+    for label, kwargs in configs:
+        engine = "hadoop-64" if label.startswith("hadoop") else "flexmap"
+        r = run_iterative_job(
+            heterogeneous6_cluster, puma("KM"), engine,
+            iterations=iterations, seed=2, input_mb=input_mb, **kwargs,
+        )
+        cells = " ".join(f"{j:4.0f}" for j in r.iteration_jcts)
+        print(f"{label:>16} {cells} {r.total_s:>8.1f}")
+    print("\nThe warm FlexMap rows show the paper's extensibility argument:")
+    print("after iteration 1 the sizing ramp is gone and every iteration")
+    print("runs with capacity-matched task sizes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: run one PUMA benchmark under every engine on the paper's
+12-node heterogeneous physical cluster (Table I) and compare.
+
+    python examples/quickstart.py [benchmark=WC] [input_gb=4]
+"""
+
+import sys
+
+from repro import ENGINES, compare_engines, physical_cluster, puma
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "WC"
+    input_gb = float(sys.argv[2]) if len(sys.argv) > 2 else 8.0
+
+    workload = puma(benchmark)
+    print(f"Benchmark: {workload.name} ({workload.data_source} data), "
+          f"{input_gb:g} GB input, 12-node physical cluster\n")
+
+    results = compare_engines(
+        physical_cluster,
+        workload,
+        list(ENGINES),
+        seed=1,
+        input_mb=input_gb * 1024.0,
+    )
+
+    base = results["hadoop-64"].jct
+    print(f"{'engine':>18} {'JCT (s)':>10} {'vs Hadoop-64m':>14} {'efficiency':>11} {'map tasks':>10}")
+    for name, r in sorted(results.items(), key=lambda kv: kv[1].jct):
+        print(
+            f"{name:>18} {r.jct:>10.1f} {r.jct / base:>13.2f}x "
+            f"{r.efficiency:>11.3f} {len(r.trace.maps()):>10}"
+        )
+
+    flex = results["flexmap"]
+    sizes = sorted({m.num_bus for m in flex.trace.maps()})
+    print(f"\nFlexMap task sizes used (in 8 MB block units): {sizes}")
+    print("Slow machines got the small tasks, fast machines the large ones —")
+    print("that is the paper's elastic-task mechanism at work.")
+
+
+if __name__ == "__main__":
+    main()

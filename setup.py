@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs on environments without `wheel`.
+
+All metadata lives in pyproject.toml; use
+``pip install -e . --no-build-isolation --no-use-pep517`` offline.
+"""
+
+from setuptools import setup
+
+setup()

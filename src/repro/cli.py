@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                          # engines, clusters, benchmarks
+    python -m repro run --cluster physical --engine flexmap --benchmark WC
+    python -m repro compare --cluster virtual --benchmark HR --seeds 1 2 3
+    python -m repro figure fig5 --cluster physical
+    python -m repro figure fig8 --scale 0.0625
+
+Simulated seconds, deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figures as F
+from repro.experiments.clusters import (
+    heterogeneous6_cluster,
+    homogeneous_cluster,
+    multitenant_cluster,
+    physical_cluster,
+    virtual_cluster,
+)
+from repro.experiments.report import render_series, render_table
+from repro.experiments.runner import ENGINES, compare_engines, run_job
+from repro.workloads.puma import FIGURE_ORDER, PUMA_BENCHMARKS, puma
+
+CLUSTERS = {
+    "physical": physical_cluster,
+    "virtual": virtual_cluster,
+    "homogeneous": homogeneous_cluster,
+    "heterogeneous6": heterogeneous6_cluster,
+    "multitenant20": lambda: multitenant_cluster(0.2),
+    "multitenant40": lambda: multitenant_cluster(0.4),
+}
+
+FIGURES = ("fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "overhead", "ablation")
+
+
+def _cluster(name: str):
+    try:
+        return CLUSTERS[name]
+    except KeyError:
+        raise SystemExit(f"unknown cluster {name!r}; choose from {sorted(CLUSTERS)}")
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+def cmd_list(args) -> int:
+    """List engines, clusters, benchmarks and figures."""
+    print("engines:    " + ", ".join(sorted(ENGINES)))
+    print("clusters:   " + ", ".join(sorted(CLUSTERS)))
+    print("benchmarks: " + ", ".join(w.abbrev for w in PUMA_BENCHMARKS))
+    print("figures:    " + ", ".join(FIGURES))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Run one job and print its headline metrics."""
+    result = run_job(
+        _cluster(args.cluster),
+        puma(args.benchmark),
+        args.engine,
+        seed=args.seed,
+        input_mb=args.input_gb * 1024.0 if args.input_gb else None,
+    )
+    print(result.summary())
+    maps = result.trace.maps()
+    print(f"map tasks: {len(maps)}  reduce tasks: {len(result.trace.reduces())}  "
+          f"map phase: {result.trace.map_phase_runtime:.1f}s")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run several engines over shared seeds and tabulate."""
+    engines = args.engines or sorted(ENGINES)
+    rows = []
+    import numpy as np
+
+    for engine in engines:
+        jcts, effs = [], []
+        for seed in args.seeds:
+            r = run_job(
+                _cluster(args.cluster), puma(args.benchmark), engine, seed=seed,
+                input_mb=args.input_gb * 1024.0 if args.input_gb else None,
+            )
+            jcts.append(r.jct)
+            effs.append(r.efficiency)
+        rows.append([engine, float(np.mean(jcts)), float(np.std(jcts)), float(np.mean(effs))])
+    base = next(r[1] for r in rows if r[0] == "hadoop-64") if any(
+        r[0] == "hadoop-64" for r in rows
+    ) else rows[0][1]
+    for r in rows:
+        r.append(r[1] / base)
+    print(render_table(
+        f"{args.benchmark} on {args.cluster} (seeds {args.seeds})",
+        ["engine", "jct_s", "std", "efficiency", "normalized"],
+        rows,
+        col_width=18,
+    ))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    """Regenerate one paper figure at the chosen scale."""
+    name = args.name
+    if name == "fig1":
+        data = F.fig1_task_runtimes(seed=args.seed)
+        for cluster, runtimes in data.items():
+            print(f"{cluster}: {len(runtimes)} maps, min {min(runtimes):.1f}s, "
+                  f"max {max(runtimes):.1f}s, max/min {max(runtimes)/min(runtimes):.2f}")
+    elif name == "fig2":
+        data = F.fig2_static_binding(seed=args.seed)
+        rows = [[e] + v for e, v in data.series.items()]
+        print(render_table("Fig. 2 -- input share per node", ["engine"] + data.xs, rows, col_width=18))
+    elif name == "fig3":
+        for cluster in ("homogeneous", "heterogeneous"):
+            d = F.fig3bcd_task_size_sweep(cluster=cluster, seeds=[args.seed])
+            print(render_series(f"Fig. 3 -- {cluster}", d.series, d.xs))
+    elif name in ("fig5", "fig6"):
+        jct, eff = F.fig5_fig6_benchmarks(
+            cluster=args.cluster, seeds=[args.seed], scale=args.scale
+        )
+        data = jct if name == "fig5" else eff
+        rows = [
+            [ab] + [data.series[e][i] for e in F.FIG5_ENGINES]
+            for i, ab in enumerate(data.xs)
+        ]
+        print(render_table(f"{name} -- {args.cluster}", ["bench"] + F.FIG5_ENGINES, rows, col_width=14))
+    elif name == "fig7":
+        d = F.fig7_dynamic_sizing(cluster=args.cluster, seed=args.seed)
+        print(d.notes)
+        for role in ("fast", "slow"):
+            sizes = d.series[f"{role}-size-bus"]
+            print(f"{role}: peak {max(sizes)} BUs over {len(sizes)} tasks")
+    elif name == "fig8":
+        data = F.fig8_multitenant(seeds=[args.seed], scale=args.scale,
+                                  benchmarks=FIGURE_ORDER[:4])
+        for frac, fig in sorted(data.items()):
+            rows = [
+                [ab] + [fig.series[e][i] for e in F.FIG8_ENGINES]
+                for i, ab in enumerate(fig.xs)
+            ]
+            print(render_table(f"fig8 -- {int(frac*100)}% slow", ["bench"] + F.FIG8_ENGINES, rows, col_width=18))
+    elif name == "overhead":
+        data = F.overhead_homogeneous(seeds=[args.seed])
+        print(render_table("SIV-D overhead", ["metric", "value"],
+                           [[k, v] for k, v in data.items()], col_width=22))
+    elif name == "ablation":
+        data = F.ablation_study(seeds=[args.seed])
+        print(render_table("ablation", ["variant", "jct_s"],
+                           [[k, v] for k, v in data.items()], col_width=18))
+    else:
+        raise SystemExit(f"unknown figure {name!r}; choose from {FIGURES}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FlexMap reproduction (IPDPS'17)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list engines, clusters, benchmarks, figures")
+
+    p_run = sub.add_parser("run", help="run one job")
+    p_run.add_argument("--cluster", default="physical")
+    p_run.add_argument("--engine", default="flexmap", choices=sorted(ENGINES))
+    p_run.add_argument("--benchmark", default="WC")
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--input-gb", type=float, default=None)
+
+    p_cmp = sub.add_parser("compare", help="compare engines on one benchmark")
+    p_cmp.add_argument("--cluster", default="physical")
+    p_cmp.add_argument("--benchmark", default="WC")
+    p_cmp.add_argument("--engines", nargs="*", choices=sorted(ENGINES))
+    p_cmp.add_argument("--seeds", nargs="*", type=int, default=[1, 2])
+    p_cmp.add_argument("--input-gb", type=float, default=None)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("name", choices=FIGURES)
+    p_fig.add_argument("--cluster", default="physical",
+                       choices=["physical", "virtual"])
+    p_fig.add_argument("--seed", type=int, default=1)
+    p_fig.add_argument("--scale", type=float, default=0.25)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
+                "figure": cmd_figure}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

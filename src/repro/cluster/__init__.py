@@ -1,0 +1,30 @@
+"""Cluster substrate: nodes, machine catalog, interference, network.
+
+Models the three evaluation environments of the paper: a 12-node physical
+cluster built from the Table I machine catalog, a 20-node virtual cluster
+with cloud interference, and a 40-node multi-tenant cluster with a
+configurable fraction of slowed nodes.
+"""
+
+from repro.cluster.interference import (
+    CloudInterference,
+    InterferenceModel,
+    MultiTenantInterference,
+    NoInterference,
+)
+from repro.cluster.machines import MACHINE_CATALOG, MachineSpec
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+
+__all__ = [
+    "MACHINE_CATALOG",
+    "CloudInterference",
+    "Cluster",
+    "InterferenceModel",
+    "MachineSpec",
+    "MultiTenantInterference",
+    "NetworkModel",
+    "NoInterference",
+    "Node",
+]

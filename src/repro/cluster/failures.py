@@ -1,0 +1,58 @@
+"""Node-failure injection and recovery.
+
+MapReduce's raison d'être is transparent fault tolerance (the paper's
+introduction; also its [11] on compute-node failures), so the substrate
+supports killing worker nodes mid-job: every running attempt on the node is
+lost, its input is re-enqueued (map work returns to the unprocessed pool,
+reducers back to pending), and the node stops receiving containers.  HDFS
+replication keeps the data reachable — blocks whose local replicas died are
+simply read remotely.
+
+Failures compose with every engine: the ApplicationMaster exposes
+``on_node_failure`` and each engine re-enqueues its own bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.topology import Cluster
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schedulers.base import ApplicationMaster
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """One scheduled crash."""
+
+    time_s: float
+    node_id: str
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"negative failure time: {self.time_s}")
+
+
+class FailureSchedule:
+    """Deterministic list of node crashes to inject into a run."""
+
+    def __init__(self, failures: list[NodeFailure]) -> None:
+        self.failures = sorted(failures, key=lambda f: (f.time_s, f.node_id))
+
+    @classmethod
+    def single(cls, time_s: float, node_id: str) -> "FailureSchedule":
+        return cls([NodeFailure(time_s, node_id)])
+
+    def install(self, sim: Simulator, cluster: Cluster, am: "ApplicationMaster") -> None:
+        """Arm the crash events against a submitted job's AM."""
+        ids = {n.node_id for n in cluster.nodes}
+        for failure in self.failures:
+            if failure.node_id not in ids:
+                raise KeyError(f"unknown node: {failure.node_id}")
+            sim.schedule_at(
+                failure.time_s,
+                lambda f=failure: am.on_node_failure(cluster.node(f.node_id)),
+            )

@@ -1,0 +1,52 @@
+"""Cluster network model.
+
+Two effects matter to the paper's evaluation:
+
+* **Remote map input** — a map task whose split contains block units without
+  a local replica pays a transfer delay before computing on them.  The paper
+  notes 10 Gbps Ethernet largely hid this cost on the 40-node cluster.
+* **Shuffle** — reducers fetch intermediate data from every mapper; only the
+  cross-node fraction pays network time.  FlexMap's biased reduce placement
+  lowers that fraction because fast nodes hold more intermediate data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Uniform-bandwidth cluster fabric.
+
+    Bandwidths are per-flow effective rates in MB/s.  The defaults model the
+    paper's 10 Gbps Ethernet with protocol + disk overheads (an effective
+    ~300 MB/s per flow, which makes remote reads cheap but not free).
+    """
+
+    remote_read_mbps: float = 300.0
+    shuffle_mbps: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.remote_read_mbps <= 0 or self.shuffle_mbps <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    def remote_read_time(self, mb: float) -> float:
+        """Seconds to pull ``mb`` of map input from a remote node."""
+        if mb < 0:
+            raise ValueError(f"negative transfer size: {mb}")
+        return mb / self.remote_read_mbps
+
+    def shuffle_time(self, cross_node_mb: float) -> float:
+        """Seconds for a reducer to fetch its cross-node intermediate data."""
+        if cross_node_mb < 0:
+            raise ValueError(f"negative transfer size: {cross_node_mb}")
+        return cross_node_mb / self.shuffle_mbps
+
+
+#: 1 Gbps fabric for sensitivity studies (slower remote reads should make
+#: LTB's locality preservation matter more).
+GIGABIT = NetworkModel(remote_read_mbps=60.0, shuffle_mbps=40.0)
+
+#: The paper's 10 Gbps fabric.
+TEN_GIGABIT = NetworkModel()

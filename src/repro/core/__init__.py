@@ -1,0 +1,37 @@
+"""FlexMap: elastic map tasks for heterogeneous MapReduce clusters.
+
+The paper's primary contribution (Section III).  Components mirror Fig. 4:
+
+* :class:`~repro.core.speed_monitor.SpeedMonitor` — per-node IPS tracking;
+* :class:`~repro.core.sizing.DynamicSizer` — Algorithm 1 (vertical +
+  horizontal scaling);
+* :class:`~repro.core.data_provision.DataProvision` — task-size calculation
+  for a granted container;
+* :class:`~repro.core.late_binding.LateTaskBinder` — template management and
+  locality-preserving split construction;
+* :mod:`~repro.core.mbe` — multi-block execution (splits as BU arrays);
+* :class:`~repro.core.reduce_bias.ReducePlacer` — capacity-biased reducer
+  dispatch;
+* :class:`~repro.core.flexmap_am.FlexMapAM` — the augmented Application
+  Master tying everything into the YARN substrate.
+"""
+
+from repro.core.data_provision import DataProvision
+from repro.core.flexmap_am import FlexMapAM
+from repro.core.late_binding import LateTaskBinder, MapTemplate
+from repro.core.mbe import MultiBlockEngine
+from repro.core.reduce_bias import ReducePlacer
+from repro.core.sizing import DynamicSizer, SizingConfig
+from repro.core.speed_monitor import SpeedMonitor
+
+__all__ = [
+    "DataProvision",
+    "DynamicSizer",
+    "FlexMapAM",
+    "LateTaskBinder",
+    "MapTemplate",
+    "MultiBlockEngine",
+    "ReducePlacer",
+    "SizingConfig",
+    "SpeedMonitor",
+]

@@ -1,0 +1,28 @@
+"""DataProvision (DP): task-size calculation for a granted container.
+
+The DP component of the FlexMap AM (Fig. 4, step 4): given the container's
+host node, combine the SpeedMonitor's relative-speed estimate with the
+DynamicSizer's per-node size unit to produce the elastic task size in BUs.
+"""
+
+from __future__ import annotations
+
+from repro.core.sizing import DynamicSizer
+from repro.core.speed_monitor import SpeedMonitor
+
+
+class DataProvision:
+    """Glue between SpeedMonitor and Algorithm 1."""
+
+    def __init__(self, monitor: SpeedMonitor, sizer: DynamicSizer) -> None:
+        self.monitor = monitor
+        self.sizer = sizer
+
+    def task_size_bus(self, node_id: str) -> int:
+        """Elastic task size, in block units, for a container on ``node_id``."""
+        rel = self.monitor.relative_speed(node_id)
+        return self.sizer.task_size_bus(node_id, rel)
+
+    def wave_feedback(self, node_id: str, productivity: float) -> None:
+        """Feed a completed wave's productivity into vertical scaling."""
+        self.sizer.record_wave(node_id, productivity)

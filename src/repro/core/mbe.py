@@ -1,0 +1,63 @@
+"""Multi-Block Execution (Section III-B).
+
+MBE replaces the one-map-one-block engine: an input split is an *array of
+block units* and task progress is computed over the aggregate BU size.  In
+the simulator the array representation is :class:`repro.mapreduce.split.
+InputSplit`; this module supplies the engine-side arithmetic — aggregate
+progress and the ``setBlock``-style split expansion the Hadoop
+implementation exposes (Section III-G).
+"""
+
+from __future__ import annotations
+
+from repro.hdfs.block import Block
+from repro.mapreduce.split import InputSplit
+
+
+class MultiBlockEngine:
+    """Aggregate-progress bookkeeping for a BU-array split."""
+
+    def __init__(self, split: InputSplit) -> None:
+        self.split = split
+        self._processed_mb = 0.0
+
+    # ------------------------------------------------------------------
+    # the modified map-task interface
+    # ------------------------------------------------------------------
+    def set_blocks(self, extra: list[Block], node_id: str) -> None:
+        """Expand the input split (the ``setBlock`` interface).
+
+        Late Task Binding calls this once the task size is determined;
+        blocks are re-classified local/remote for the host node.
+        """
+        blocks = self.split.blocks + extra
+        self.split = InputSplit.for_node(blocks, node_id)
+
+    def advance(self, mb: float) -> None:
+        """Consume ``mb`` of input across BU boundaries."""
+        if mb < 0:
+            raise ValueError(f"negative advance: {mb}")
+        self._processed_mb = min(self.split.size_mb, self._processed_mb + mb)
+
+    # ------------------------------------------------------------------
+    # aggregate progress (what MBE changes vs stock Hadoop)
+    # ------------------------------------------------------------------
+    @property
+    def processed_mb(self) -> float:
+        return self._processed_mb
+
+    def progress(self) -> float:
+        """Progress over the *aggregate* size of all BUs in the array."""
+        total = self.split.size_mb
+        if total <= 0:
+            return 1.0
+        return self._processed_mb / total
+
+    def current_block(self) -> Block | None:
+        """The BU currently being read, or None when exhausted."""
+        consumed = self._processed_mb
+        for block in self.split.blocks:
+            if consumed < block.size_mb:
+                return block
+            consumed -= block.size_mb
+        return None

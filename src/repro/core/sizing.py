@@ -1,0 +1,100 @@
+"""Dynamic map task sizing — Algorithm 1 of the paper.
+
+Every node starts at one block unit (8 MB).  Per node, a *size unit* s_i
+grows **vertically** from productivity feedback at each completed wave:
+
+* productivity < FAST_LIMIT (0.8)  ->  s_i *= 2      (fast scaling)
+* productivity < LINEAR_LIMIT (0.9) -> s_i += 1 BU   (linear scaling)
+* otherwise                         -> s_i frozen
+
+and the dispatched task size m_i scales **horizontally** with the node's
+speed relative to the slowest node: ``m_i = s_i * speed_i / speed_slowest``.
+Nodes grow independently — a slow node's sluggish vertical progress never
+holds back a fast node (Section III-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper constants (Section III-E).
+FAST_LIMIT = 0.8
+LINEAR_LIMIT = 0.9
+BU_MB = 8.0
+
+
+@dataclass(frozen=True)
+class SizingConfig:
+    """Algorithm 1 knobs; defaults are the paper's."""
+
+    bu_mb: float = BU_MB
+    fast_limit: float = FAST_LIMIT
+    linear_limit: float = LINEAR_LIMIT
+    max_bus: int = 512  # safety valve, far above the paper's observed 64
+
+    def __post_init__(self) -> None:
+        if self.bu_mb <= 0:
+            raise ValueError(f"non-positive BU size: {self.bu_mb}")
+        if not 0.0 < self.fast_limit <= self.linear_limit <= 1.0:
+            raise ValueError(
+                f"limits must satisfy 0 < fast <= linear <= 1: "
+                f"{self.fast_limit}, {self.linear_limit}"
+            )
+        if self.max_bus < 1:
+            raise ValueError(f"max_bus must be >= 1: {self.max_bus}")
+
+
+class NodeSizing:
+    """Per-node vertical-scaling state (the s_i variable)."""
+
+    def __init__(self, config: SizingConfig) -> None:
+        self.config = config
+        self.size_unit_mb = config.bu_mb  # s_i, initialized to one BU
+        self.frozen = False  # productivity passed LINEAR_LIMIT
+
+    def vertical(self, productivity: float) -> None:
+        """Grow s_i from the latest wave's productivity (Alg. 1 lines 7-13)."""
+        if not 0.0 <= productivity <= 1.0:
+            raise ValueError(f"productivity out of [0,1]: {productivity}")
+        if self.frozen:
+            return
+        if productivity < self.config.fast_limit:
+            self.size_unit_mb *= 2.0
+        elif productivity < self.config.linear_limit:
+            self.size_unit_mb += self.config.bu_mb
+        else:
+            self.frozen = True
+        cap = self.config.max_bus * self.config.bu_mb
+        self.size_unit_mb = min(self.size_unit_mb, cap)
+
+
+class DynamicSizer:
+    """Cluster-wide sizing state: one :class:`NodeSizing` per node."""
+
+    def __init__(self, config: SizingConfig | None = None) -> None:
+        self.config = config or SizingConfig()
+        self._nodes: dict[str, NodeSizing] = {}
+
+    def node(self, node_id: str) -> NodeSizing:
+        """Per-node sizing state, created on first use."""
+        state = self._nodes.get(node_id)
+        if state is None:
+            state = NodeSizing(self.config)
+            self._nodes[node_id] = state
+        return state
+
+    def record_wave(self, node_id: str, productivity: float) -> None:
+        """Feed one completed wave's productivity into vertical scaling."""
+        self.node(node_id).vertical(productivity)
+
+    def task_size_bus(self, node_id: str, relative_speed: float) -> int:
+        """Horizontal scaling (Alg. 1 lines 15-18): m_i in block units."""
+        if relative_speed <= 0:
+            raise ValueError(f"non-positive relative speed: {relative_speed}")
+        size_mb = self.node(node_id).size_unit_mb * relative_speed
+        bus = int(round(size_mb / self.config.bu_mb))
+        return max(1, min(bus, self.config.max_bus))
+
+    def size_unit_mb(self, node_id: str) -> float:
+        """Current size unit s_i for the node, in MB."""
+        return self.node(node_id).size_unit_mb

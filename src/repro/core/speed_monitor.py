@@ -1,0 +1,84 @@
+"""SpeedMonitor: per-node input-processing-speed estimation (Section III-D).
+
+Containers report IPS (eq. 3) through 5-second heartbeats.  A single report
+is noisy — some records cost more than others — so the monitor averages the
+reports *from the same round* across a node's containers, then keeps a
+sliding window of the last ``window`` round-averages per node.  Completed
+tasks contribute their end-to-end IPS as an extra sample, which is how the
+paper's "first-wave feedback" (Fig. 7) arrives.
+
+``getSpeed`` exposes the smoothed per-node estimate; ``relative_speed``
+normalizes to the slowest known node, the quantity Algorithm 1's horizontal
+scaling consumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class SpeedMonitor:
+    """Sliding-window IPS estimates per node."""
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        self.window = window
+        self._samples: dict[str, deque[float]] = {}
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def report_round(self, round_no: int, node_ips: dict[str, list[float]]) -> None:
+        """Ingest one heartbeat round: per-node lists of container IPSes.
+
+        Zero entries (containers still in JVM startup) are discarded; a
+        node with no productive containers this round contributes nothing.
+        """
+        for node_id, values in node_ips.items():
+            productive = [v for v in values if v > 0]
+            if not productive:
+                continue
+            self._push(node_id, sum(productive) / len(productive))
+
+    def report_completion(self, node_id: str, ips: float) -> None:
+        """Ingest a completed task's end-to-end IPS."""
+        if ips > 0:
+            self._push(node_id, ips)
+
+    def _push(self, node_id: str, value: float) -> None:
+        bucket = self._samples.setdefault(node_id, deque(maxlen=self.window))
+        bucket.append(value)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def known_nodes(self) -> list[str]:
+        """Nodes with at least one speed sample, sorted."""
+        return sorted(self._samples)
+
+    def get_speed(self, node_id: str) -> float | None:
+        """Smoothed IPS for the node, or None before any feedback."""
+        bucket = self._samples.get(node_id)
+        if not bucket:
+            return None
+        return sum(bucket) / len(bucket)
+
+    def slowest_speed(self) -> float | None:
+        """Smallest smoothed IPS across known nodes, or None."""
+        speeds = [self.get_speed(n) for n in self._samples]
+        speeds = [s for s in speeds if s is not None]
+        return min(speeds) if speeds else None
+
+    def relative_speed(self, node_id: str) -> float:
+        """Node speed over the slowest known node's speed (>= 1 ideally).
+
+        Returns 1.0 until the monitor has feedback for this node — before
+        the first wave completes, every machine is presumed equal, exactly
+        the paper's startup behaviour (all tasks begin at one BU).
+        """
+        mine = self.get_speed(node_id)
+        slowest = self.slowest_speed()
+        if mine is None or slowest is None or slowest <= 0:
+            return 1.0
+        return max(1.0, mine / slowest)

@@ -1,0 +1,33 @@
+"""Plain-text rendering of experiment results in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def render_table(
+    title: str,
+    columns: list[str],
+    rows: Iterable[list],
+    col_width: int = 12,
+) -> str:
+    """Fixed-width table with a title bar, ready for the bench logs."""
+    lines = [title, "=" * max(len(title), col_width * len(columns))]
+    lines.append("".join(f"{c:>{col_width}}" for c in columns))
+    for row in rows:
+        cells = []
+        for v in row:
+            if isinstance(v, float):
+                cells.append(f"{v:>{col_width}.3f}")
+            else:
+                cells.append(f"{str(v):>{col_width}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: dict[str, list[float]], xs: list) -> str:
+    """Multi-series listing (one line per x) for figure-style data."""
+    names = sorted(series)
+    width = max(13, max(len(n) for n in names) + 2)
+    rows = [[x] + [series[n][i] for n in names] for i, x in enumerate(xs)]
+    return render_table(title, ["x"] + names, rows, col_width=width)

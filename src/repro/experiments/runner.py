@@ -1,0 +1,168 @@
+"""Job runner: one simulated job on one cluster under one engine.
+
+The engine registry matches the paper's comparison set:
+
+* ``hadoop-64`` / ``hadoop-128`` — stock Hadoop with LATE speculation at the
+  default and industry-recommended block sizes;
+* ``hadoop-nospec-64`` — speculation disabled (Fig. 8's "No Speculation");
+* ``skewtune-64`` — the SkewTune baseline;
+* ``flexmap`` — elastic tasks (8 MB BUs).
+
+Runs with the same seed are bit-identical; engines under the same seed see
+the same cluster, interference schedule, and record skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.failures import FailureSchedule
+from repro.cluster.topology import Cluster
+from repro.core.flexmap_am import FlexMapAM
+from repro.core.sizing import SizingConfig
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.placement import PlacementPolicy, RandomPlacement
+from repro.mapreduce.job import JobSpec
+from repro.metrics.efficiency import job_efficiency
+from repro.schedulers.base import AMConfig, ApplicationMaster
+from repro.schedulers.skewtune import SkewTuneAM
+from repro.schedulers.speculation import SpeculationConfig
+from repro.schedulers.stock import StockHadoopAM
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.trace import JobTrace
+from repro.workloads.spec import WorkloadSpec
+from repro.yarn.resource_manager import ResourceManager
+
+AMFactory = Callable[..., ApplicationMaster]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A named engine configuration in the comparison set."""
+
+    name: str
+    block_size_mb: float
+    factory: AMFactory
+    kwargs: dict = field(default_factory=dict)
+
+    def build(self, sim, cluster, rm, namenode, job, streams, config) -> ApplicationMaster:
+        """Instantiate this engine's ApplicationMaster."""
+        return self.factory(
+            sim, cluster, rm, namenode, job, streams, config, **self.kwargs
+        )
+
+
+ENGINES: dict[str, EngineSpec] = {
+    "hadoop-64": EngineSpec("hadoop-64", 64.0, StockHadoopAM),
+    "hadoop-128": EngineSpec("hadoop-128", 128.0, StockHadoopAM),
+    "hadoop-nospec-64": EngineSpec(
+        "hadoop-nospec-64",
+        64.0,
+        StockHadoopAM,
+        {"speculation": SpeculationConfig(enabled=False)},
+    ),
+    "skewtune-64": EngineSpec("skewtune-64", 64.0, SkewTuneAM),
+    "flexmap": EngineSpec("flexmap", SizingConfig().bu_mb, FlexMapAM),
+}
+
+
+@dataclass
+class RunResult:
+    """Outcome of one job run with the headline metrics precomputed."""
+
+    engine: str
+    cluster_name: str
+    job: JobSpec
+    trace: JobTrace
+    am: ApplicationMaster
+    jct: float
+    efficiency: float
+    seed: int
+
+    def summary(self) -> str:
+        """One-line human-readable result summary."""
+        return (
+            f"{self.engine:>16s} on {self.cluster_name:<16s} "
+            f"{self.job.name:<4s} JCT={self.jct:8.1f}s eff={self.efficiency:5.3f}"
+        )
+
+
+def run_job(
+    cluster_factory: Callable[[], Cluster],
+    workload: WorkloadSpec | JobSpec,
+    engine: str | EngineSpec,
+    seed: int = 0,
+    input_mb: float | None = None,
+    small: bool = True,
+    replication: int = 3,
+    placement: PlacementPolicy | None = None,
+    am_config: AMConfig | None = None,
+    max_events: int | None = None,
+    failures: "FailureSchedule | None" = None,
+) -> RunResult:
+    """Simulate one job end-to-end and return its trace + metrics.
+
+    ``failures`` optionally injects node crashes (see
+    :mod:`repro.cluster.failures`); the engine re-enqueues lost work.
+    """
+    spec = ENGINES[engine] if isinstance(engine, str) else engine
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    cluster = cluster_factory()
+    cluster.install(sim, streams)
+
+    if isinstance(workload, WorkloadSpec):
+        job = workload.job(input_mb=input_mb, small=small)
+    else:
+        job = workload if input_mb is None else workload.scaled(input_mb)
+
+    namenode = NameNode(
+        [n.node_id for n in cluster.nodes],
+        replication=replication,
+        policy=placement or RandomPlacement(),
+        rng=streams.stream("placement"),
+    )
+    num_blocks = int(np.ceil(job.input_mb / spec.block_size_mb))
+    if isinstance(workload, WorkloadSpec):
+        factors = workload.cost_factors(num_blocks, streams.stream("skew"))
+    else:
+        factors = None
+    namenode.create_file(
+        job.input_file, job.input_mb, spec.block_size_mb, cost_factors=factors
+    )
+
+    rm = ResourceManager(sim, cluster, rng=streams.stream("rm-offers"))
+    config = am_config or AMConfig(block_size_mb=spec.block_size_mb)
+    am = spec.build(sim, cluster, rm, namenode, job, streams, config)
+    if failures is not None:
+        failures.install(sim, cluster, am)
+    trace = am.run_to_completion(max_events=max_events)
+
+    return RunResult(
+        engine=spec.name,
+        cluster_name=cluster.name,
+        job=job,
+        trace=trace,
+        am=am,
+        jct=trace.jct,
+        efficiency=job_efficiency(trace, cluster.total_slots),
+        seed=seed,
+    )
+
+
+def compare_engines(
+    cluster_factory: Callable[[], Cluster],
+    workload: WorkloadSpec | JobSpec,
+    engines: list[str],
+    seed: int = 0,
+    **kwargs,
+) -> dict[str, RunResult]:
+    """Run the same job under several engines with a shared seed."""
+    return {
+        name: run_job(cluster_factory, workload, name, seed=seed, **kwargs)
+        for name in engines
+    }

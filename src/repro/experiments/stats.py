@@ -1,0 +1,104 @@
+"""Multi-seed experiment statistics.
+
+Single runs of a stochastic cluster are noisy (pressure episodes and
+interference schedules are heavy-tailed), so quantitative claims should be
+made over seed sweeps.  ``seed_sweep`` runs one configuration across seeds
+and returns summary statistics; ``compare_sweep`` does it for several
+engines and reports normalized means with spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+from repro.experiments.runner import EngineSpec, RunResult, run_job
+from repro.mapreduce.job import JobSpec
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Summary of one metric over a seed sweep."""
+
+    mean: float
+    std: float
+    lo: float  # min observed
+    hi: float  # max observed
+    n: int
+
+    @classmethod
+    def of(cls, values: list[float]) -> "SweepStats":
+        if not values:
+            raise ValueError("no values")
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            lo=float(arr.min()),
+            hi=float(arr.max()),
+            n=len(values),
+        )
+
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% confidence half-width of the mean."""
+        if self.n < 2:
+            return float("inf")
+        return 1.96 * self.std / np.sqrt(self.n)
+
+
+@dataclass
+class SweepResult:
+    """Per-seed results plus jct/efficiency summaries."""
+
+    engine: str
+    runs: list[RunResult]
+    jct: SweepStats
+    efficiency: SweepStats
+
+
+def seed_sweep(
+    cluster_factory: Callable[[], Cluster],
+    workload: WorkloadSpec | JobSpec,
+    engine: str | EngineSpec,
+    seeds: list[int],
+    **kwargs,
+) -> SweepResult:
+    """Run one (cluster, workload, engine) configuration across seeds."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs = [run_job(cluster_factory, workload, engine, seed=s, **kwargs) for s in seeds]
+    return SweepResult(
+        engine=runs[0].engine,
+        runs=runs,
+        jct=SweepStats.of([r.jct for r in runs]),
+        efficiency=SweepStats.of([r.efficiency for r in runs]),
+    )
+
+
+def compare_sweep(
+    cluster_factory: Callable[[], Cluster],
+    workload: WorkloadSpec | JobSpec,
+    engines: list[str],
+    seeds: list[int],
+    baseline: str | None = None,
+    **kwargs,
+) -> dict[str, dict[str, float]]:
+    """Mean JCT/efficiency per engine, normalized to ``baseline``'s mean."""
+    sweeps = {
+        e: seed_sweep(cluster_factory, workload, e, seeds, **kwargs) for e in engines
+    }
+    base = sweeps[baseline].jct.mean if baseline else next(iter(sweeps.values())).jct.mean
+    return {
+        e: {
+            "jct_mean": s.jct.mean,
+            "jct_std": s.jct.std,
+            "jct_normalized": s.jct.mean / base,
+            "efficiency_mean": s.efficiency.mean,
+            "ci95": s.jct.ci95_halfwidth(),
+        }
+        for e, s in sweeps.items()
+    }

@@ -1,0 +1,42 @@
+"""Local executable mini-MapReduce runtime.
+
+Unlike the discrete-event simulator (which models task *timing*), this
+runtime actually executes user map/reduce functions over real records and
+produces verifiable results — wordcount counts words, grep finds matches.
+Worker heterogeneity is expressed through per-worker speeds on a virtual
+clock, so uniform-vs-elastic split sizing can be compared deterministically
+on a laptop.  The elastic splitter reuses the FlexMap core
+(:class:`~repro.core.sizing.DynamicSizer`, :class:`~repro.core.speed_monitor.
+SpeedMonitor`) unchanged — the same Algorithm 1 drives both backends.
+"""
+
+from repro.localrt.elastic import ElasticSplitter, UniformSplitter
+from repro.localrt.functions import (
+    JobFunctions,
+    grep_job,
+    histogram_ratings_job,
+    inverted_index_job,
+    terasort_job,
+    wordcount_job,
+)
+from repro.localrt.runtime import (
+    LocalResult,
+    LocalRuntime,
+    LocalTaskRecord,
+    WorkerSpec,
+)
+
+__all__ = [
+    "ElasticSplitter",
+    "JobFunctions",
+    "LocalResult",
+    "LocalRuntime",
+    "LocalTaskRecord",
+    "UniformSplitter",
+    "WorkerSpec",
+    "grep_job",
+    "histogram_ratings_job",
+    "inverted_index_job",
+    "terasort_job",
+    "wordcount_job",
+]

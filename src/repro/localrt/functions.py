@@ -1,0 +1,106 @@
+"""Real map/reduce functions for the local runtime.
+
+Each job is a pair of plain Python functions matching the classic
+MapReduce signatures: ``map_fn(record) -> [(key, value), ...]`` and
+``reduce_fn(key, [values]) -> (key, result)``, plus an optional combiner
+run per map task (all the PUMA text benchmarks use one).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+MapFn = Callable[[str], Iterable[tuple[str, object]]]
+ReduceFn = Callable[[str, list], tuple[str, object]]
+
+
+@dataclass(frozen=True)
+class JobFunctions:
+    """A runnable MapReduce program."""
+
+    name: str
+    map_fn: MapFn
+    reduce_fn: ReduceFn
+    use_combiner: bool = True
+
+
+def _sum_reduce(key: str, values: list) -> tuple[str, object]:
+    return key, sum(values)
+
+
+def wordcount_job() -> JobFunctions:
+    """Count word occurrences (PUMA WC)."""
+
+    def map_fn(line: str):
+        return [(w, 1) for w in line.split()]
+
+    return JobFunctions("wordcount", map_fn, _sum_reduce)
+
+
+def grep_job(pattern: str = "w000") -> JobFunctions:
+    """Count lines containing ``pattern`` (PUMA GR)."""
+
+    def map_fn(line: str):
+        return [("match", 1)] if pattern in line else []
+
+    return JobFunctions("grep", map_fn, _sum_reduce)
+
+
+def histogram_ratings_job() -> JobFunctions:
+    """Bucket Netflix-style ``user,movie,rating`` lines by rating (PUMA HR)."""
+
+    def map_fn(line: str):
+        parts = line.rsplit(",", 1)
+        if len(parts) != 2:
+            return []
+        return [(f"rating-{parts[1]}", 1)]
+
+    return JobFunctions("histogram-ratings", map_fn, _sum_reduce)
+
+
+def inverted_index_job() -> JobFunctions:
+    """word -> sorted set of source-block ids (PUMA II).
+
+    Records are tagged ``blockid|text`` by the runtime so the index has a
+    document dimension.
+    """
+
+    def map_fn(record: str):
+        doc, _, text = record.partition("|")
+        return [(w, doc) for w in text.split()]
+
+    def reduce_fn(key: str, values: list):
+        return key, sorted(set(values))
+
+    # Set-valued postings cannot be summed by the generic combiner.
+    return JobFunctions("inverted-index", map_fn, reduce_fn, use_combiner=False)
+
+
+def terasort_job(num_buckets: int = 16) -> JobFunctions:
+    """Range-partitioned sort of TeraGen-style ``key\\tpayload`` records
+    (PUMA TS).  Each reducer sorts one key-range bucket; concatenating the
+    buckets in key order yields a total order.
+    """
+    if num_buckets < 1:
+        raise ValueError(f"need at least one bucket: {num_buckets}")
+    span = 2**32
+
+    def map_fn(record: str):
+        key = int(record.split("\t", 1)[0])
+        bucket = min(num_buckets - 1, key * num_buckets // span)
+        return [(f"b{bucket:04d}", record)]
+
+    def reduce_fn(key: str, values: list):
+        return key, sorted(values)
+
+    return JobFunctions("tera-sort", map_fn, reduce_fn, use_combiner=False)
+
+
+def run_combiner(pairs: list[tuple[str, object]]) -> list[tuple[str, object]]:
+    """Per-task combine: sum values per key (valid for counting jobs)."""
+    acc: dict[str, float] = defaultdict(int)
+    for k, v in pairs:
+        acc[k] += v
+    return list(acc.items())

@@ -1,0 +1,8 @@
+"""MapReduce job model: jobs, splits, task attempts, shuffle accounting."""
+
+from repro.mapreduce.attempt import TaskAttempt
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.shuffle import IntermediateStore
+from repro.mapreduce.split import InputSplit
+
+__all__ = ["InputSplit", "IntermediateStore", "JobSpec", "TaskAttempt"]

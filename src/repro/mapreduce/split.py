@@ -1,0 +1,58 @@
+"""Input splits: the unit of work a map task consumes.
+
+In stock Hadoop a split is exactly one HDFS block.  Under FlexMap's
+Multi-Block Execution a split is an *array of block units*; its size is the
+aggregate BU size, and progress is computed over that aggregate
+(Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdfs.block import Block
+
+
+@dataclass
+class InputSplit:
+    """An ordered list of blocks, split into local vs remote for the host."""
+
+    local_blocks: list[Block] = field(default_factory=list)
+    remote_blocks: list[Block] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.local_blocks and not self.remote_blocks:
+            raise ValueError("empty split")
+
+    @property
+    def blocks(self) -> list[Block]:
+        return self.local_blocks + self.remote_blocks
+
+    @property
+    def num_bus(self) -> int:
+        return len(self.local_blocks) + len(self.remote_blocks)
+
+    @property
+    def size_mb(self) -> float:
+        """Nominal input bytes."""
+        return sum(b.size_mb for b in self.blocks)
+
+    @property
+    def work_mb(self) -> float:
+        """Skew-adjusted map work in equivalent MB."""
+        return sum(b.work_mb for b in self.blocks)
+
+    @property
+    def local_mb(self) -> float:
+        return sum(b.size_mb for b in self.local_blocks)
+
+    @property
+    def remote_mb(self) -> float:
+        return sum(b.size_mb for b in self.remote_blocks)
+
+    @classmethod
+    def for_node(cls, blocks: list[Block], node_id: str) -> "InputSplit":
+        """Classify ``blocks`` into local/remote for a task on ``node_id``."""
+        local = [b for b in blocks if b.is_local_to(node_id)]
+        remote = [b for b in blocks if not b.is_local_to(node_id)]
+        return cls(local_blocks=local, remote_blocks=remote)

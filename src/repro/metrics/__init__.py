@@ -1,0 +1,16 @@
+"""Evaluation metrics: productivity (eq. 1), efficiency (eq. 2), JCT, stats."""
+
+from repro.metrics.efficiency import job_efficiency, serial_runtime
+from repro.metrics.jct import jct, normalized_jct
+from repro.metrics.productivity import productivity
+from repro.metrics.stats import normalized_runtime_pdf, runtime_variance
+
+__all__ = [
+    "jct",
+    "job_efficiency",
+    "normalized_jct",
+    "normalized_runtime_pdf",
+    "productivity",
+    "runtime_variance",
+    "serial_runtime",
+]

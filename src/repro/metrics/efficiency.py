@@ -1,0 +1,30 @@
+"""Job efficiency — paper eq. (2).
+
+``Efficiency = serial runtime / (map phase runtime x available containers)``
+
+The map phase needs no synchronization between tasks, so inefficiency is
+load imbalance (plus fixed per-task overhead): a perfectly balanced map
+phase keeps every container busy end-to-end and scores 1.0.  Serial runtime
+is approximated by the sum of all map task runtimes; the map phase runtime
+spans the first container start to the last map container stop.
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import JobTrace
+
+
+def serial_runtime(trace: JobTrace) -> float:
+    """Sum of all map attempts' wall-clock runtimes (killed copies count:
+    they occupied containers, exactly what eq. (2) charges for)."""
+    return sum(r.runtime for r in trace.maps(include_killed=True))
+
+
+def job_efficiency(trace: JobTrace, available_containers: int) -> float:
+    """Eq. (2) over a recorded job trace."""
+    if available_containers < 1:
+        raise ValueError(f"need at least one container: {available_containers}")
+    phase = trace.map_phase_runtime
+    if not phase > 0:
+        raise ValueError(f"invalid map phase runtime: {phase}")
+    return serial_runtime(trace) / (phase * available_containers)

@@ -1,0 +1,21 @@
+"""Job completion time and the normalized-JCT presentation of Figs. 5 and 8."""
+
+from __future__ import annotations
+
+from repro.sim.trace import JobTrace
+
+
+def jct(trace: JobTrace) -> float:
+    """Job completion time: submission to last reducer (or last map)."""
+    value = trace.jct
+    if not value > 0:
+        raise ValueError(f"invalid JCT: {value}")
+    return value
+
+
+def normalized_jct(traces: dict[str, JobTrace], baseline: str) -> dict[str, float]:
+    """JCTs normalized to the named baseline engine (Fig. 5/8 y-axis)."""
+    if baseline not in traces:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(traces)}")
+    base = jct(traces[baseline])
+    return {name: jct(t) / base for name, t in traces.items()}

@@ -1,0 +1,52 @@
+"""Distributional statistics for map runtimes (Figs. 1 and 3a)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def runtime_variance(runtimes: list[float]) -> float:
+    """Variance of map runtimes — the paper's load-imbalance proxy (§II-C)."""
+    if not runtimes:
+        raise ValueError("no runtimes")
+    return float(np.var(runtimes))
+
+
+def normalized_runtime_pdf(
+    runtimes: list[float], bins: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """PDF of runtimes normalized by the maximum (Fig. 3a).
+
+    Returns ``(bin_centers, density)``; density integrates to 1 over [0, 1].
+    """
+    if not runtimes:
+        raise ValueError("no runtimes")
+    arr = np.asarray(runtimes, dtype=float)
+    peak = arr.max()
+    if peak <= 0:
+        raise ValueError("runtimes must be positive")
+    normalized = arr / peak
+    density, edges = np.histogram(normalized, bins=bins, range=(0.0, 1.0), density=True)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, density
+
+
+def straggler_ratio(runtimes: list[float]) -> float:
+    """Slowest-over-fastest map runtime — Fig. 1's headline number."""
+    if not runtimes:
+        raise ValueError("no runtimes")
+    fastest = min(runtimes)
+    if fastest <= 0:
+        raise ValueError("runtimes must be positive")
+    return max(runtimes) / fastest
+
+
+def tail_slowdown_fraction(runtimes: list[float], factor: float = 3.0) -> float:
+    """Fraction of tasks slower than ``factor`` x the median (Fig. 1b tail)."""
+    if not runtimes:
+        raise ValueError("no runtimes")
+    arr = np.asarray(runtimes, dtype=float)
+    med = float(np.median(arr))
+    if med <= 0:
+        raise ValueError("runtimes must be positive")
+    return float(np.mean(arr > factor * med))

@@ -1,0 +1,21 @@
+"""Schedulers: stock Hadoop (with/without speculation, LATE) and SkewTune.
+
+The FlexMap engine itself lives in :mod:`repro.core` — these are the
+baselines the paper compares against.
+"""
+
+from repro.schedulers.base import AMConfig, ApplicationMaster, MapAssignment
+from repro.schedulers.skewtune import SkewTuneAM, SkewTuneConfig
+from repro.schedulers.speculation import SpeculationConfig, SpeculationManager
+from repro.schedulers.stock import StockHadoopAM
+
+__all__ = [
+    "AMConfig",
+    "ApplicationMaster",
+    "MapAssignment",
+    "SkewTuneAM",
+    "SkewTuneConfig",
+    "SpeculationConfig",
+    "SpeculationManager",
+    "StockHadoopAM",
+]

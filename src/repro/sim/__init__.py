@@ -1,0 +1,22 @@
+"""Discrete-event simulation substrate.
+
+Provides the event engine (:mod:`repro.sim.engine`), variable-rate work
+processes used to model task execution under time-varying node speeds
+(:mod:`repro.sim.work`), seeded random-stream management
+(:mod:`repro.sim.random`), and task-lifecycle trace recording
+(:mod:`repro.sim.trace`).
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.trace import JobTrace, TaskRecord
+from repro.sim.work import VariableRateWork
+
+__all__ = [
+    "EventHandle",
+    "JobTrace",
+    "RandomStreams",
+    "Simulator",
+    "TaskRecord",
+    "VariableRateWork",
+]

@@ -1,0 +1,58 @@
+"""Trace export: task records as dicts, CSV, or JSON for external analysis."""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.sim.trace import JobTrace, TaskRecord
+
+FIELDS = [f for f in TaskRecord.__dataclass_fields__]
+
+
+def trace_to_dicts(trace: JobTrace) -> list[dict]:
+    """All task records as plain dicts (stable field order)."""
+    return [asdict(r) for r in trace.records]
+
+
+def write_csv(trace: JobTrace, path: str | Path) -> Path:
+    """Write one row per task attempt; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=FIELDS)
+        writer.writeheader()
+        for row in trace_to_dicts(trace):
+            writer.writerow(row)
+    return path
+
+
+def write_json(trace: JobTrace, path: str | Path) -> Path:
+    """Write the full trace (milestones + records) as JSON."""
+    path = Path(path)
+    payload = {
+        "job_id": trace.job_id,
+        "submit_time": trace.submit_time,
+        "finish_time": trace.finish_time,
+        "map_phase_start": trace.map_phase_start,
+        "map_phase_end": trace.map_phase_end,
+        "records": trace_to_dicts(trace),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def read_json(path: str | Path) -> JobTrace:
+    """Round-trip a trace written by :func:`write_json`."""
+    payload = json.loads(Path(path).read_text())
+    trace = JobTrace(
+        job_id=payload["job_id"],
+        submit_time=payload["submit_time"],
+        finish_time=payload["finish_time"],
+        map_phase_start=payload["map_phase_start"],
+        map_phase_end=payload["map_phase_end"],
+    )
+    for row in payload["records"]:
+        trace.add(TaskRecord(**row))
+    return trace

@@ -1,0 +1,9 @@
+"""Terminal visualization helpers (no plotting dependencies).
+
+ASCII sparklines, histograms and Gantt charts used by the examples and
+benches to show figure shapes without matplotlib.
+"""
+
+from repro.viz.ascii import gantt, histogram, sparkline
+
+__all__ = ["gantt", "histogram", "sparkline"]

@@ -1,0 +1,69 @@
+"""ASCII charts: sparklines, histograms, and task Gantt charts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.trace import JobTrace
+
+_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """One-line intensity chart, values scaled to their own maximum."""
+    if not values:
+        return ""
+    arr = np.asarray(values, dtype=float)
+    peak = arr.max()
+    if peak <= 0:
+        return " " * min(width, len(values))
+    if len(arr) > width:
+        # Average into `width` buckets to preserve the overall shape.
+        edges = np.linspace(0, len(arr), width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    idx = np.minimum(len(_LEVELS) - 1, (arr / peak * (len(_LEVELS) - 1)).astype(int))
+    return "".join(_LEVELS[i] for i in idx)
+
+
+def histogram(values: list[float], bins: int = 10, width: int = 40) -> str:
+    """Multi-line horizontal histogram with counts."""
+    if not values:
+        return "(empty)"
+    counts, edges = np.histogram(np.asarray(values, dtype=float), bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{lo:10.1f}-{hi:>8.1f} |{bar:<{width}} {count}")
+    return "\n".join(lines)
+
+
+def gantt(trace: JobTrace, width: int = 72, max_rows: int = 40) -> str:
+    """Per-node task timeline: map tasks as ``m``/``M`` (small/large),
+    reduces as ``r``, killed attempts as ``x``."""
+    records = [r for r in trace.records if r.runtime > 0]
+    if not records:
+        return "(no tasks)"
+    t0 = min(r.start for r in records)
+    t1 = max(r.end for r in records)
+    span = max(t1 - t0, 1e-9)
+    median_mb = float(np.median([r.size_mb for r in records if r.kind == "map"] or [1.0]))
+    by_node: dict[str, list] = {}
+    for r in records:
+        by_node.setdefault(r.node, []).append(r)
+    lines = [f"t = {t0:.0f}s {'-' * (width - 20)} {t1:.0f}s"]
+    for node in sorted(by_node)[:max_rows]:
+        row = [" "] * width
+        for r in by_node[node]:
+            a = int((r.start - t0) / span * (width - 1))
+            b = max(a + 1, int((r.end - t0) / span * (width - 1)))
+            if r.killed:
+                ch = "x"
+            elif r.kind == "reduce":
+                ch = "r"
+            else:
+                ch = "M" if r.size_mb > median_mb else "m"
+            for i in range(a, min(b, width)):
+                row[i] = ch
+        lines.append(f"{node:>12} |{''.join(row)}|")
+    return "\n".join(lines)

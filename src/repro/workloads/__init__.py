@@ -1,0 +1,15 @@
+"""Workloads: the PUMA benchmark suite (Table II), skew models, data gens."""
+
+from repro.workloads.puma import PUMA_BENCHMARKS, PUMA_BY_ABBREV, puma
+from repro.workloads.skew import LognormalSkew, NoSkew, SkewModel
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "PUMA_BENCHMARKS",
+    "PUMA_BY_ABBREV",
+    "LognormalSkew",
+    "NoSkew",
+    "SkewModel",
+    "WorkloadSpec",
+    "puma",
+]

@@ -1,0 +1,71 @@
+"""The PUMA benchmark suite — Table II of the paper.
+
+Eight benchmarks over Wikipedia text, Netflix ratings and TeraGen records.
+Input sizes are Table II's; cost models encode each benchmark's map/reduce
+balance per the paper's discussion: wordcount, grep and the histograms are
+map-heavy (FlexMap's best cases), term-vector and kmeans are mixed, and
+inverted-index and tera-sort are reduce-dominated (where FlexMap gains
+little and can even regress from its sizing overhead).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+PUMA_BENCHMARKS: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(
+        name="wordcount", abbrev="WC", small_gb=20, large_gb=256,
+        data_source="Wikipedia", map_cost_s_per_mb=0.625, shuffle_ratio=0.08,
+        reduce_cost_s_per_mb=0.25, num_reducers=8, skew_sigma=0.05,
+    ),
+    WorkloadSpec(
+        name="inverted-index", abbrev="II", small_gb=20, large_gb=256,
+        data_source="Wikipedia", map_cost_s_per_mb=0.55, shuffle_ratio=0.85,
+        reduce_cost_s_per_mb=0.8, num_reducers=32, skew_sigma=0.2,
+    ),
+    WorkloadSpec(
+        name="term-vector", abbrev="TV", small_gb=10, large_gb=256,
+        data_source="Wikipedia", map_cost_s_per_mb=0.7, shuffle_ratio=0.4,
+        reduce_cost_s_per_mb=0.6, num_reducers=16, skew_sigma=0.3,
+    ),
+    WorkloadSpec(
+        name="grep", abbrev="GR", small_gb=20, large_gb=256,
+        data_source="Wikipedia", map_cost_s_per_mb=0.45, shuffle_ratio=0.01,
+        reduce_cost_s_per_mb=0.1, num_reducers=4, skew_sigma=0.05,
+    ),
+    WorkloadSpec(
+        name="kmeans", abbrev="KM", small_gb=10, large_gb=256,
+        data_source="Netflix", map_cost_s_per_mb=1.0, shuffle_ratio=0.3,
+        reduce_cost_s_per_mb=0.5, num_reducers=8, skew_sigma=0.4,
+    ),
+    WorkloadSpec(
+        name="histogram-ratings", abbrev="HR", small_gb=10, large_gb=128,
+        data_source="Netflix", map_cost_s_per_mb=0.5, shuffle_ratio=0.02,
+        reduce_cost_s_per_mb=0.15, num_reducers=4, skew_sigma=0.1,
+    ),
+    WorkloadSpec(
+        name="histogram-movies", abbrev="HM", small_gb=10, large_gb=128,
+        data_source="Netflix", map_cost_s_per_mb=0.55, shuffle_ratio=0.03,
+        reduce_cost_s_per_mb=0.2, num_reducers=8, skew_sigma=0.15,
+    ),
+    WorkloadSpec(
+        name="tera-sort", abbrev="TS", small_gb=10, large_gb=128,
+        data_source="TeraGen", map_cost_s_per_mb=0.25, shuffle_ratio=1.0,
+        reduce_cost_s_per_mb=0.75, num_reducers=32, skew_sigma=0.0,
+    ),
+)
+
+PUMA_BY_ABBREV: dict[str, WorkloadSpec] = {w.abbrev: w for w in PUMA_BENCHMARKS}
+
+#: Presentation order used by the paper's figures.
+FIGURE_ORDER: tuple[str, ...] = ("WC", "II", "TV", "GR", "KM", "HR", "HM", "TS")
+
+
+def puma(abbrev: str) -> WorkloadSpec:
+    """Look up a benchmark by its two-letter abbreviation (e.g. ``"WC"``)."""
+    try:
+        return PUMA_BY_ABBREV[abbrev.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown PUMA benchmark {abbrev!r}; choose from {sorted(PUMA_BY_ABBREV)}"
+        ) from None

@@ -1,0 +1,8 @@
+"""YARN substrate: containers, ResourceManager, overhead model, heartbeats."""
+
+from repro.yarn.container import Container
+from repro.yarn.heartbeat import HeartbeatService
+from repro.yarn.overhead import OverheadModel
+from repro.yarn.resource_manager import ResourceManager
+
+__all__ = ["Container", "HeartbeatService", "OverheadModel", "ResourceManager"]

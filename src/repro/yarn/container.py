@@ -1,0 +1,29 @@
+"""Container: a granted execution slot bound to a particular node.
+
+Mirrors YARN semantics the paper relies on: the AM requests containers with
+resource demands; the RM grants them *bound to specific nodes*; only then
+does FlexMap's Late Task Binding know the host speed and can size the task.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import Node
+
+
+class Container:
+    """One granted container on a worker node."""
+
+    _next_id = 0
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.container_id = Container._next_id
+        Container._next_id += 1
+        self.released = False
+
+    @property
+    def node_id(self) -> str:
+        return self.node.node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Container(#{self.container_id} on {self.node_id})"

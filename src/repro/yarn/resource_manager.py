@@ -1,0 +1,84 @@
+"""ResourceManager: grants containers on nodes with free slots.
+
+The RM is deliberately thin — scheduling policy lives in the Application
+Masters (:mod:`repro.schedulers`, :mod:`repro.core.flexmap_am`).  The RM
+walks nodes with free slots and *offers* a container to the AM; the AM
+either accepts (launching a task attempt, which occupies the slot until the
+AM releases it) or declines (slot stays free until the next offer round).
+
+Offer rounds are triggered at start, whenever the AM signals new pending
+work, and whenever a slot is released.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.topology import Cluster
+from repro.sim.engine import Simulator
+from repro.yarn.container import Container
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schedulers.base import ApplicationMaster
+
+
+class ResourceManager:
+    """Container allocator over a cluster."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster, rng=None) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.am: "ApplicationMaster | None" = None
+        self._offer_scheduled = False
+        self.containers_granted = 0
+        # Offer order is shuffled per round: real node heartbeats arrive in
+        # arbitrary order, so no machine class is systematically served
+        # first.  Pass a seeded generator for reproducible runs.
+        self._rng = rng
+
+    def register(self, am: "ApplicationMaster") -> None:
+        """Attach the ApplicationMaster receiving offers."""
+        self.am = am
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin offering containers (t=0 of the job)."""
+        self.request_offers()
+
+    def request_offers(self) -> None:
+        """Schedule an offer round; coalesces concurrent requests."""
+        if self._offer_scheduled:
+            return
+        self._offer_scheduled = True
+        self.sim.schedule(0.0, self._offer_round)
+
+    def _offer_round(self) -> None:
+        self._offer_scheduled = False
+        if self.am is None:
+            return
+        nodes = list(self.cluster.nodes)
+        if self._rng is not None:
+            self._rng.shuffle(nodes)
+        # Keep offering on a node while the AM accepts and slots remain.
+        for node in nodes:
+            if not node.alive:
+                continue
+            while node.free_slots > 0:
+                container = Container(node)
+                accepted = self.am.on_container(container)
+                if not accepted:
+                    break
+                self.containers_granted += 1
+
+    # ------------------------------------------------------------------
+    def occupy(self, container: Container) -> None:
+        """Mark the container's slot busy (AM accepted the offer)."""
+        container.node.acquire_slot()
+
+    def release(self, container: Container) -> None:
+        """Return the slot and trigger a new offer round."""
+        if container.released:
+            return
+        container.released = True
+        container.node.release_slot()
+        self.request_offers()

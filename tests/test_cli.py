@@ -1,0 +1,54 @@
+"""CLI tests: every subcommand parses and runs."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_runs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "flexmap" in out and "physical" in out and "fig8" in out
+
+
+def test_run_subcommand(capsys):
+    rc = main(["run", "--cluster", "heterogeneous6", "--engine", "hadoop-64",
+               "--benchmark", "HR", "--input-gb", "1", "--seed", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "JCT" in out and "map tasks" in out
+
+
+def test_compare_subcommand(capsys):
+    rc = main(["compare", "--cluster", "heterogeneous6", "--benchmark", "HR",
+               "--engines", "hadoop-64", "flexmap", "--seeds", "1",
+               "--input-gb", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "normalized" in out and "flexmap" in out
+
+
+def test_figure_fig2(capsys):
+    assert main(["figure", "fig2"]) == 0
+    assert "input share" in capsys.readouterr().out
+
+
+def test_figure_fig7(capsys):
+    assert main(["figure", "fig7", "--cluster", "physical"]) == 0
+    out = capsys.readouterr().out
+    assert "fast" in out and "BUs" in out
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--engine", "nope"])
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "nope"])
+
+
+def test_unknown_cluster_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--cluster", "nope", "--input-gb", "1"])

@@ -1,0 +1,311 @@
+"""Unit tests for FlexMap's components: SpeedMonitor, sizing (Algorithm 1),
+MBE, LTB, DataProvision and the reduce-placement bias."""
+
+import numpy as np
+import pytest
+
+from repro.core.data_provision import DataProvision
+from repro.core.late_binding import LateTaskBinder
+from repro.core.mbe import MultiBlockEngine
+from repro.core.reduce_bias import ReducePlacer
+from repro.core.sizing import DynamicSizer, NodeSizing, SizingConfig
+from repro.core.speed_monitor import SpeedMonitor
+from repro.hdfs.block import Block
+from repro.mapreduce.split import InputSplit
+
+
+def blocks_for(replicas_map, size=8.0):
+    return [
+        Block(block_id=i, file="f", size_mb=size, replicas=tuple(reps))
+        for i, reps in enumerate(replicas_map)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# SpeedMonitor
+# ---------------------------------------------------------------------------
+def test_monitor_returns_none_before_feedback():
+    m = SpeedMonitor()
+    assert m.get_speed("a") is None
+    assert m.relative_speed("a") == 1.0
+    assert m.slowest_speed() is None
+
+
+def test_monitor_round_average_ignores_startup_zeros():
+    m = SpeedMonitor()
+    m.report_round(1, {"a": [0.0, 2.0, 4.0], "b": [0.0, 0.0]})
+    assert m.get_speed("a") == pytest.approx(3.0)
+    assert m.get_speed("b") is None
+
+
+def test_monitor_window_slides():
+    m = SpeedMonitor(window=3)
+    for i, v in enumerate([1.0, 2.0, 3.0, 4.0], start=1):
+        m.report_round(i, {"a": [v]})
+    assert m.get_speed("a") == pytest.approx((2.0 + 3.0 + 4.0) / 3.0)
+
+
+def test_monitor_completion_samples_count():
+    m = SpeedMonitor()
+    m.report_completion("a", 5.0)
+    m.report_completion("a", 3.0)
+    assert m.get_speed("a") == pytest.approx(4.0)
+    m.report_completion("a", 0.0)  # ignored
+    assert m.get_speed("a") == pytest.approx(4.0)
+
+
+def test_monitor_relative_speed_vs_slowest():
+    m = SpeedMonitor()
+    m.report_completion("slow", 1.0)
+    m.report_completion("fast", 3.0)
+    assert m.relative_speed("fast") == pytest.approx(3.0)
+    assert m.relative_speed("slow") == 1.0
+    assert m.relative_speed("unknown") == 1.0
+
+
+def test_monitor_relative_speed_floored_at_one():
+    """Algorithm 1 normalizes to the slowest node, so ratios are >= 1."""
+    m = SpeedMonitor()
+    m.report_completion("a", 2.0)
+    m.report_completion("b", 4.0)
+    assert m.relative_speed("a") >= 1.0
+
+
+def test_monitor_validation():
+    with pytest.raises(ValueError):
+        SpeedMonitor(window=0)
+
+
+# ---------------------------------------------------------------------------
+# Sizing — Algorithm 1
+# ---------------------------------------------------------------------------
+def test_vertical_fast_scaling_doubles():
+    s = NodeSizing(SizingConfig())
+    assert s.size_unit_mb == 8.0
+    s.vertical(0.3)  # < FAST_LIMIT
+    assert s.size_unit_mb == 16.0
+    s.vertical(0.5)
+    assert s.size_unit_mb == 32.0
+
+
+def test_vertical_linear_scaling_adds_one_bu():
+    s = NodeSizing(SizingConfig())
+    s.vertical(0.85)  # between FAST and LINEAR limits
+    assert s.size_unit_mb == 16.0
+    s.vertical(0.85)
+    assert s.size_unit_mb == 24.0
+
+
+def test_vertical_freezes_above_linear_limit():
+    s = NodeSizing(SizingConfig())
+    s.vertical(0.3)
+    s.vertical(0.95)  # >= LINEAR_LIMIT -> stop growing
+    assert s.frozen
+    s.vertical(0.1)  # frozen: even bad productivity doesn't grow it
+    assert s.size_unit_mb == 16.0
+
+
+def test_vertical_capped_at_max():
+    cfg = SizingConfig(max_bus=4)
+    s = NodeSizing(cfg)
+    for _ in range(10):
+        s.vertical(0.1)
+    assert s.size_unit_mb == 32.0  # 4 BUs * 8 MB
+
+
+def test_vertical_rejects_bad_productivity():
+    s = NodeSizing(SizingConfig())
+    with pytest.raises(ValueError):
+        s.vertical(1.5)
+
+
+def test_horizontal_scaling_proportional_to_speed():
+    d = DynamicSizer()
+    d.record_wave("fast", 0.3)  # size unit -> 16 MB
+    assert d.task_size_bus("fast", relative_speed=1.0) == 2
+    assert d.task_size_bus("fast", relative_speed=3.0) == 6
+    # Unknown node: still at one BU.
+    assert d.task_size_bus("other", relative_speed=1.0) == 1
+
+
+def test_horizontal_rounding_and_floor():
+    d = DynamicSizer()
+    assert d.task_size_bus("n", relative_speed=1.4) == 1  # round(1.4) -> 1
+    assert d.task_size_bus("n", relative_speed=1.6) == 2
+
+
+def test_nodes_grow_independently():
+    """A slow node's sluggish growth must not hold back a fast node."""
+    d = DynamicSizer()
+    for _ in range(3):
+        d.record_wave("fast", 0.3)
+    d.record_wave("slow", 0.3)
+    assert d.size_unit_mb("fast") == 64.0
+    assert d.size_unit_mb("slow") == 16.0
+
+
+def test_sizer_caps_at_max_bus():
+    d = DynamicSizer(SizingConfig(max_bus=8))
+    for _ in range(10):
+        d.record_wave("n", 0.1)
+    assert d.task_size_bus("n", relative_speed=10.0) == 8
+
+
+def test_sizing_config_validation():
+    with pytest.raises(ValueError):
+        SizingConfig(bu_mb=0.0)
+    with pytest.raises(ValueError):
+        SizingConfig(fast_limit=0.95, linear_limit=0.9)
+    with pytest.raises(ValueError):
+        SizingConfig(max_bus=0)
+    d = DynamicSizer()
+    with pytest.raises(ValueError):
+        d.task_size_bus("n", relative_speed=0.0)
+
+
+def test_paper_constants():
+    cfg = SizingConfig()
+    assert cfg.bu_mb == 8.0
+    assert cfg.fast_limit == 0.8
+    assert cfg.linear_limit == 0.9
+
+
+# ---------------------------------------------------------------------------
+# Multi-Block Execution
+# ---------------------------------------------------------------------------
+def test_mbe_aggregate_progress():
+    split = InputSplit(local_blocks=blocks_for([("a",), ("a",), ("a",)]))
+    eng = MultiBlockEngine(split)
+    assert eng.progress() == 0.0
+    eng.advance(12.0)
+    assert eng.progress() == pytest.approx(0.5)
+    assert eng.current_block().block_id == 1
+    eng.advance(100.0)  # clamps at the end
+    assert eng.progress() == 1.0
+    assert eng.current_block() is None
+
+
+def test_mbe_set_blocks_reclassifies():
+    split = InputSplit(local_blocks=blocks_for([("a",)]))
+    eng = MultiBlockEngine(split)
+    extra = blocks_for([("b",)])
+    extra[0].block_id = 99
+    eng.set_blocks(extra, node_id="a")
+    assert eng.split.num_bus == 2
+    assert eng.split.remote_mb == 8.0
+
+
+def test_mbe_rejects_negative_advance():
+    eng = MultiBlockEngine(InputSplit(local_blocks=blocks_for([("a",)])))
+    with pytest.raises(ValueError):
+        eng.advance(-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Late Task Binding
+# ---------------------------------------------------------------------------
+def test_ltb_one_template_per_bu():
+    binder = LateTaskBinder(blocks_for([("a",), ("b",), ("c",)]))
+    assert len(binder.templates) == 3
+    assert binder.unprocessed_bus == 3
+
+
+def test_ltb_bind_prefers_local():
+    binder = LateTaskBinder(blocks_for([("a",), ("a",), ("b",)]))
+    split = binder.bind("a", 2)
+    assert split.num_bus == 2
+    assert split.remote_mb == 0.0
+    assert binder.unprocessed_bus == 1
+
+
+def test_ltb_bind_falls_back_to_remote():
+    binder = LateTaskBinder(blocks_for([("a",), ("b",), ("b",)]))
+    split = binder.bind("a", 3)
+    assert split.num_bus == 3
+    assert split.local_mb == 8.0
+    assert split.remote_mb == 16.0
+
+
+def test_ltb_bind_exhaustion_returns_none_and_discards_templates():
+    binder = LateTaskBinder(blocks_for([("a",), ("a",)]))
+    binder.bind("a", 2)
+    assert binder.bind("a", 1) is None
+    assert binder.templates_used == 2
+    assert binder.templates_discarded == 0
+    # With put_back the discard count reflects unused templates.
+    binder2 = LateTaskBinder(blocks_for([("a",), ("a",)]))
+    binder2.bind("a", 1)
+    assert binder2.templates_discarded == 0  # BUs still unprocessed
+
+
+def test_ltb_put_back():
+    binder = LateTaskBinder(blocks_for([("a",), ("a",)]))
+    split = binder.bind("a", 2)
+    binder.put_back(split)
+    assert binder.unprocessed_bus == 2
+    assert binder.templates_used == 0
+
+
+def test_ltb_each_bu_bound_once():
+    reps = [("a", "b"), ("b", "c"), ("a", "c"), ("a",), ("b",), ("c",)]
+    binder = LateTaskBinder(blocks_for(reps))
+    seen = []
+    for node in ["a", "b", "c"]:
+        split = binder.bind(node, 2)
+        seen.extend(b.block_id for b in split.blocks)
+    assert sorted(seen) == list(range(6))
+
+
+# ---------------------------------------------------------------------------
+# DataProvision
+# ---------------------------------------------------------------------------
+def test_dp_combines_monitor_and_sizer():
+    monitor = SpeedMonitor()
+    sizer = DynamicSizer()
+    dp = DataProvision(monitor, sizer)
+    assert dp.task_size_bus("n") == 1  # cold start: one BU everywhere
+    monitor.report_completion("n", 4.0)
+    monitor.report_completion("slow", 1.0)
+    dp.wave_feedback("n", 0.3)  # size unit 16 MB = 2 BUs
+    assert dp.task_size_bus("n") == 8  # 2 BUs * relative speed 4
+
+
+# ---------------------------------------------------------------------------
+# ReducePlacer
+# ---------------------------------------------------------------------------
+def test_bias_is_capacity_squared():
+    p = ReducePlacer(np.random.default_rng(0))
+    assert p.bias(1.0) == 1.0
+    assert p.bias(0.5) == 0.25
+    with pytest.raises(ValueError):
+        p.bias(0.0)
+    with pytest.raises(ValueError):
+        p.bias(1.5)
+
+
+def test_fast_node_always_accepted():
+    p = ReducePlacer(np.random.default_rng(0))
+    assert all(p.accepts(1.0) for _ in range(100))
+
+
+def test_choose_favours_fast_nodes():
+    p = ReducePlacer(np.random.default_rng(0))
+    caps = {"slow": 0.4, "fast": 1.0}
+    picks = [p.choose(caps) for _ in range(2000)]
+    frac_fast = picks.count("fast") / len(picks)
+    # Expected ratio 1.0^2 : 0.4^2 -> fast share ~0.86
+    assert frac_fast == pytest.approx(1.0 / 1.16, abs=0.05)
+
+
+def test_choose_never_stalls():
+    p = ReducePlacer(np.random.default_rng(0), max_tries=1)
+    caps = {"a": 0.01, "b": 0.02}
+    assert p.choose(caps) in caps  # falls back to best capacity
+
+
+def test_choose_validation():
+    p = ReducePlacer(np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        p.choose({})
+    with pytest.raises(ValueError):
+        ReducePlacer(np.random.default_rng(0), max_tries=0)

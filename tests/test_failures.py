@@ -1,0 +1,92 @@
+"""Failure-injection tests: node crashes mid-job, work is recovered."""
+
+import pytest
+
+from repro.cluster.failures import FailureSchedule, NodeFailure
+from repro.experiments.runner import run_job
+from tests.conftest import make_cluster, tiny_job
+
+
+def cluster():
+    return make_cluster(speeds=(1.0, 1.0, 2.0), slots=2)
+
+
+@pytest.mark.parametrize("engine", ["hadoop-64", "hadoop-nospec-64", "flexmap", "skewtune-64"])
+def test_job_completes_despite_map_phase_failure(engine):
+    job = tiny_job(input_mb=1024.0, reducers=2)
+    r = run_job(
+        cluster, job, engine, seed=4,
+        failures=FailureSchedule.single(30.0, "t01"),
+    )
+    # All input processed exactly once by surviving copies.
+    assert r.trace.data_processed_mb() == pytest.approx(1024.0, rel=1e-6)
+    # Nothing ran on the dead node after the crash.
+    late = [x for x in r.trace.records if x.node == "t01" and x.start > 30.0]
+    assert late == []
+
+
+def test_failure_increases_jct():
+    job = tiny_job(input_mb=1024.0, reducers=0)
+    clean = run_job(cluster, job, "hadoop-nospec-64", seed=4)
+    failed = run_job(
+        cluster, job, "hadoop-nospec-64", seed=4,
+        failures=FailureSchedule.single(30.0, "t02"),  # lose the fast node
+    )
+    assert failed.jct > clean.jct
+
+
+def test_reduce_phase_failure_reruns_reducer():
+    job = tiny_job(input_mb=512.0, reducers=4, shuffle=0.5)
+    clean = run_job(cluster, job, "hadoop-nospec-64", seed=4)
+    # Crash a node well into the reduce phase.
+    crash_t = clean.trace.map_phase_end + 20.0
+    r = run_job(
+        cluster, job, "hadoop-nospec-64", seed=4,
+        failures=FailureSchedule.single(crash_t, "t00"),
+    )
+    finished = {x.task_id for x in r.trace.reduces()}
+    assert len(finished) == 4  # every reducer eventually completed
+    assert r.jct >= clean.jct
+
+
+def test_failed_attempts_are_recorded_as_killed():
+    job = tiny_job(input_mb=1024.0, reducers=0)
+    r = run_job(
+        cluster, job, "hadoop-nospec-64", seed=4,
+        failures=FailureSchedule.single(30.0, "t00"),
+    )
+    killed = [x for x in r.trace.records if x.killed and x.node == "t00"]
+    assert killed, "the crash should have killed in-flight attempts"
+
+
+def test_multiple_failures():
+    job = tiny_job(input_mb=1024.0, reducers=0)
+    r = run_job(
+        cluster, job, "flexmap", seed=4,
+        failures=FailureSchedule([NodeFailure(25.0, "t00"), NodeFailure(60.0, "t01")]),
+    )
+    assert r.trace.data_processed_mb() == pytest.approx(1024.0, rel=1e-6)
+    survivors = {x.node for x in r.trace.maps() if x.start > 60.0}
+    assert survivors <= {"t02"}
+
+
+def test_failure_validation():
+    with pytest.raises(ValueError):
+        NodeFailure(-1.0, "x")
+    sched = FailureSchedule.single(10.0, "nope")
+    job = tiny_job(input_mb=256.0, reducers=0)
+    with pytest.raises(KeyError):
+        run_job(cluster, job, "hadoop-64", seed=1, failures=sched)
+
+
+def test_failure_with_speculation_in_flight():
+    """Crash the node hosting speculative copies; originals must survive."""
+    def spec_cluster():
+        return make_cluster(speeds=(2.0, 2.0, 0.25), slots=2)
+
+    job = tiny_job(input_mb=768.0, reducers=0)
+    r = run_job(
+        spec_cluster, job, "hadoop-64", seed=5,
+        failures=FailureSchedule.single(80.0, "t00"),
+    )
+    assert r.trace.data_processed_mb() == pytest.approx(768.0, rel=1e-6)

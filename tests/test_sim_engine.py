@@ -1,0 +1,143 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_fires_in_order(sim):
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(9.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_same_time_events_fire_in_schedule_order(sim):
+    fired = []
+    for tag in "abcde":
+        sim.schedule(3.0, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_schedule_at_absolute_time(sim):
+    fired = []
+    sim.schedule_at(4.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [4.5]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_events_scheduled_during_run_execute(sim):
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(2.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 3.0
+
+
+def test_zero_delay_event_fires_at_current_time(sim):
+    times = []
+
+    def outer():
+        sim.schedule(0.0, lambda: times.append(sim.now))
+
+    sim.schedule(2.0, outer)
+    sim.run()
+    assert times == [2.0]
+
+
+def test_run_until_stops_clock(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_max_events(sim):
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_step_returns_false_when_idle(sim):
+    assert sim.step() is False
+
+
+def test_pending_counts_only_live_events(sim):
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    h1.cancel()
+    assert sim.pending == 1
+
+
+def test_peek_time_skips_cancelled(sim):
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_events_processed_counter(sim):
+    for i in range(3):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 3
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        s = Simulator()
+        log = []
+        s.schedule(1.0, lambda: log.append((s.now, "a")))
+        s.schedule(1.0, lambda: log.append((s.now, "b")))
+        s.schedule(0.5, lambda: s.schedule(0.5, lambda: log.append((s.now, "c"))))
+        s.run()
+        return log
+
+    assert build() == build()

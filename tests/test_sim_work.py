@@ -1,0 +1,117 @@
+"""Unit tests for variable-rate work processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.work import VariableRateWork
+
+
+def test_constant_rate_finishes_on_time(sim):
+    done = []
+    VariableRateWork(sim, work=10.0, rate=2.0, on_done=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [5.0]
+
+
+def test_zero_work_finishes_immediately(sim):
+    done = []
+    VariableRateWork(sim, work=0.0, rate=1.0, on_done=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_rate_change_midway_reschedules(sim):
+    done = []
+    w = VariableRateWork(sim, work=10.0, rate=1.0, on_done=lambda: done.append(sim.now))
+    # After 4s at rate 1.0, 6 units remain; at rate 3.0 they take 2s more.
+    sim.schedule(4.0, lambda: w.set_rate(3.0))
+    sim.run()
+    assert done == [pytest.approx(6.0)]
+
+
+def test_multiple_rate_changes(sim):
+    done = []
+    w = VariableRateWork(sim, work=12.0, rate=1.0, on_done=lambda: done.append(sim.now))
+    sim.schedule(2.0, lambda: w.set_rate(2.0))  # 10 left
+    sim.schedule(4.0, lambda: w.set_rate(0.5))  # 6 left after 2s at 2.0
+    sim.run()
+    assert done == [pytest.approx(16.0)]
+
+
+def test_slowdown_extends_completion(sim):
+    done = []
+    w = VariableRateWork(sim, work=10.0, rate=2.0, on_done=lambda: done.append(sim.now))
+    sim.schedule(1.0, lambda: w.set_rate(0.5))
+    sim.run()
+    assert done == [pytest.approx(17.0)]
+
+
+def test_progress_tracks_fraction(sim):
+    w = VariableRateWork(sim, work=10.0, rate=1.0, on_done=lambda: None)
+    probes = []
+    sim.schedule(2.5, lambda: probes.append(w.progress()))
+    sim.schedule(7.5, lambda: probes.append(w.progress()))
+    sim.run()
+    assert probes == [pytest.approx(0.25), pytest.approx(0.75)]
+    assert w.progress() == 1.0
+
+
+def test_remaining_work_between_events(sim):
+    w = VariableRateWork(sim, work=10.0, rate=2.0, on_done=lambda: None)
+    vals = []
+    sim.schedule(2.0, lambda: vals.append(w.remaining_work()))
+    sim.run(until=2.0)
+    sim.step()
+    assert vals == [pytest.approx(6.0)]
+
+
+def test_cancel_prevents_completion(sim):
+    done = []
+    w = VariableRateWork(sim, work=10.0, rate=1.0, on_done=lambda: done.append(1))
+    sim.schedule(3.0, w.cancel)
+    sim.run()
+    assert done == []
+    assert w.cancelled
+
+
+def test_set_rate_after_done_is_noop(sim):
+    w = VariableRateWork(sim, work=1.0, rate=1.0, on_done=lambda: None)
+    sim.run()
+    w.set_rate(5.0)  # must not raise or re-fire
+    assert w.done
+
+
+def test_rejects_bad_parameters(sim):
+    with pytest.raises(ValueError):
+        VariableRateWork(sim, work=-1.0, rate=1.0, on_done=lambda: None)
+    with pytest.raises(ValueError):
+        VariableRateWork(sim, work=1.0, rate=0.0, on_done=lambda: None)
+    w = VariableRateWork(sim, work=1.0, rate=1.0, on_done=lambda: None)
+    with pytest.raises(ValueError):
+        w.set_rate(-2.0)
+
+
+def test_work_conservation_under_rate_churn(sim):
+    """However often the rate changes, total consumed work equals the total.
+
+    Integral check: sum(rate_i * dt_i) == work at completion time.
+    """
+    done_at = []
+    w = VariableRateWork(sim, work=100.0, rate=1.0, on_done=lambda: done_at.append(sim.now))
+    schedule = [(t, 1.0 + (t % 3)) for t in range(1, 40, 2)]
+    for t, r in schedule:
+        sim.schedule(float(t), lambda r=r: w.set_rate(r) if not w.done else None)
+    sim.run()
+    assert len(done_at) == 1
+    # Reconstruct the piecewise integral up to the completion time.
+    t_done = done_at[0]
+    rate = 1.0
+    consumed = 0.0
+    prev = 0.0
+    for t, r in schedule:
+        if t >= t_done:
+            break
+        consumed += rate * (t - prev)
+        prev, rate = t, r
+    consumed += rate * (t_done - prev)
+    assert consumed == pytest.approx(100.0, rel=1e-9)

@@ -1,0 +1,85 @@
+"""Tests for ASCII visualization and trace export."""
+
+import math
+
+import pytest
+
+from repro.sim.export import read_json, trace_to_dicts, write_csv, write_json
+from repro.sim.trace import JobTrace, TaskRecord
+from repro.viz.ascii import gantt, histogram, sparkline
+from tests.conftest import quick_run
+
+
+# ---------------------------------------------------------------------------
+# sparkline / histogram
+# ---------------------------------------------------------------------------
+def test_sparkline_scales_to_peak():
+    s = sparkline([0.0, 5.0, 10.0])
+    assert len(s) == 3
+    assert s[0] == " " and s[-1] == "@"
+
+
+def test_sparkline_compresses_long_series():
+    s = sparkline(list(range(1000)), width=50)
+    assert len(s) == 50
+    # Monotone input -> non-decreasing intensity.
+    levels = " .:-=+*#%@"
+    assert [levels.index(c) for c in s] == sorted(levels.index(c) for c in s)
+
+
+def test_sparkline_empty_and_zero():
+    assert sparkline([]) == ""
+    assert sparkline([0.0, 0.0]).strip() == ""
+
+
+def test_histogram_counts_sum():
+    out = histogram([1.0, 1.1, 5.0, 9.9], bins=3)
+    counts = [int(line.rsplit(" ", 1)[1]) for line in out.splitlines()]
+    assert sum(counts) == 4
+
+
+def test_histogram_empty():
+    assert histogram([]) == "(empty)"
+
+
+# ---------------------------------------------------------------------------
+# gantt
+# ---------------------------------------------------------------------------
+def test_gantt_renders_real_trace():
+    r = quick_run("flexmap", input_mb=512.0)
+    chart = gantt(r.trace)
+    assert "t00" in chart and "t02" in chart
+    assert "m" in chart.lower()
+    assert "r" in chart  # reducers present
+
+
+def test_gantt_empty_trace():
+    assert gantt(JobTrace()) == "(no tasks)"
+
+
+# ---------------------------------------------------------------------------
+# export
+# ---------------------------------------------------------------------------
+def test_trace_to_dicts_roundtrip_fields():
+    r = quick_run("hadoop-64", input_mb=256.0)
+    rows = trace_to_dicts(r.trace)
+    assert len(rows) == len(r.trace.records)
+    assert rows[0]["task_id"] and rows[0]["kind"] in ("map", "reduce")
+
+
+def test_csv_export(tmp_path):
+    r = quick_run("hadoop-64", input_mb=256.0)
+    path = write_csv(r.trace, tmp_path / "trace.csv")
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(r.trace.records) + 1  # header
+    assert lines[0].startswith("task_id,")
+
+
+def test_json_roundtrip(tmp_path):
+    r = quick_run("flexmap", input_mb=256.0)
+    path = write_json(r.trace, tmp_path / "trace.json")
+    back = read_json(path)
+    assert back.jct == pytest.approx(r.trace.jct)
+    assert len(back.records) == len(r.trace.records)
+    assert back.records[0].task_id == r.trace.records[0].task_id
+    assert back.data_processed_mb() == pytest.approx(r.trace.data_processed_mb())
