@@ -61,17 +61,57 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     """Run one job and print its headline metrics."""
+    obs = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import Observability
+
+        obs = Observability.for_files(trace_path=args.trace_out)
     result = run_job(
         _cluster(args.cluster),
         puma(args.benchmark),
         args.engine,
         seed=args.seed,
         input_mb=args.input_gb * 1024.0 if args.input_gb else None,
+        obs=obs,
     )
     print(result.summary())
     maps = result.trace.maps()
     print(f"map tasks: {len(maps)}  reduce tasks: {len(result.trace.reduces())}  "
           f"map phase: {result.trace.map_phase_runtime:.1f}s")
+    if obs is not None:
+        obs.close()
+        counters = result.metrics.get("counters", {})
+        print("observability: "
+              f"{counters.get('am.maps_launched', 0)} map launches, "
+              f"{counters.get('am.heartbeat_rounds', 0)} heartbeat rounds, "
+              f"{counters.get('monitor.samples', 0)} IPS samples")
+        if args.trace_out:
+            print(f"trace written to {args.trace_out}")
+        if args.metrics_out:
+            import json
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(result.metrics, fh, indent=2)
+                fh.write("\n")
+            print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Inspect a recorded JSONL trace."""
+    if args.trace_command == "summarize":
+        import json
+
+        from repro.obs.summarize import summarize_trace
+
+        try:
+            print(summarize_trace(args.file, width=args.width))
+        except FileNotFoundError:
+            print(f"error: no such trace file: {args.file}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.file} is not valid JSONL: {exc}", file=sys.stderr)
+            return 2
     return 0
 
 
@@ -175,6 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--benchmark", default="WC")
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--input-gb", type=float, default=None)
+    p_run.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write typed JSONL trace events to FILE")
+    p_run.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the run's metrics snapshot (JSON) to FILE")
 
     p_cmp = sub.add_parser("compare", help="compare engines on one benchmark")
     p_cmp.add_argument("--cluster", default="physical")
@@ -190,6 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--seed", type=int, default=1)
     p_fig.add_argument("--scale", type=float, default=0.25)
 
+    p_trace = sub.add_parser("trace", help="inspect a recorded JSONL trace")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_sum = trace_sub.add_parser(
+        "summarize", help="render the per-node sizing timeline"
+    )
+    p_sum.add_argument("file", help="JSONL trace from `repro run --trace-out`")
+    p_sum.add_argument("--width", type=int, default=48,
+                       help="sparkline width in characters")
+
     return parser
 
 
@@ -197,7 +250,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
-                "figure": cmd_figure}
+                "figure": cmd_figure, "trace": cmd_trace}
     return handlers[args.command](args)
 
 

@@ -23,6 +23,10 @@ class DataProvision:
         rel = self.monitor.relative_speed(node_id)
         return self.sizer.task_size_bus(node_id, rel)
 
-    def wave_feedback(self, node_id: str, productivity: float) -> None:
-        """Feed a completed wave's productivity into vertical scaling."""
-        self.sizer.record_wave(node_id, productivity)
+    def wave_feedback(self, node_id: str, productivity: float) -> str:
+        """Feed a completed wave's productivity into vertical scaling.
+
+        Returns Algorithm 1's decision (``fast``/``linear``/``freeze``/
+        ``frozen``) so instrumented callers can trace it.
+        """
+        return self.sizer.record_wave(node_id, productivity)

@@ -58,6 +58,13 @@ class FlexMapAM(ApplicationMaster):
         # (Spark-style, §IV-G) workloads skip the sizing ramp after the
         # first iteration.
         self.monitor = monitor or SpeedMonitor(window=monitor_window)
+        # Heartbeat rounds are numbered per AM lifetime: a carried-over
+        # monitor must not mistake the restarted numbering for stale rounds.
+        self.monitor.new_epoch()
+        if self.obs is not None and self.monitor.obs is None:
+            self.monitor.obs = self.obs
+        if self.monitor.clock is None:
+            self.monitor.clock = lambda: self.sim.now
         self.sizer = sizer or DynamicSizer(self.sizing_config)
         self.dp = DataProvision(self.monitor, self.sizer)
         self.placer = ReducePlacer(self.streams.stream("reduce-bias"))
@@ -102,12 +109,24 @@ class FlexMapAM(ApplicationMaster):
             # No BUs left: the idle container may still back up a straggler.
             return self.speculation.select_speculative(container)
         wave = self._completions.get(node_id, 0) // max(1, container.node.slots)
-        return MapAssignment(
+        assignment = MapAssignment(
             task_id=self.next_map_id(),
             split=split,
             wave=wave,
             alg1_bus=alg1,
         )
+        if self.obs is not None:
+            self.obs.metrics.histogram("flexmap.task_size_bus").observe(split.num_bus)
+            self.obs.trace.emit(
+                "task_bind", self.sim.now,
+                task=assignment.task_id, node=node_id,
+                n_bus=split.num_bus, alg1_bus=alg1,
+                s_i_mb=self.sizer.size_unit_mb(node_id),
+                rel_speed=round(self.monitor.relative_speed(node_id), 4),
+                local_mb=round(split.local_mb, 3),
+                remote_mb=round(split.remote_mb, 3),
+            )
+        return assignment
 
     def _tail_cap(self, node_id: str) -> int:
         """Cap a task at the node's capacity-proportional share of the
@@ -163,7 +182,18 @@ class FlexMapAM(ApplicationMaster):
             samples = self._wave_productivity.pop(node_id, [])
             if samples:
                 mean_prod = min(1.0, max(0.0, sum(samples) / len(samples)))
-                self.dp.wave_feedback(node_id, mean_prod)
+                s_i_before = self.sizer.size_unit_mb(node_id)
+                decision = self.dp.wave_feedback(node_id, mean_prod)
+                if self.obs is not None:
+                    self.obs.metrics.counter("flexmap.sizing_decisions").inc()
+                    self.obs.trace.emit(
+                        "sizing", self.sim.now,
+                        node=node_id, wave=wave,
+                        productivity=round(mean_prod, 4),
+                        s_i_before=s_i_before,
+                        s_i_after=self.sizer.size_unit_mb(node_id),
+                        decision=decision,
+                    )
             self._wave_adjusted[node_id] = wave
 
     # ------------------------------------------------------------------

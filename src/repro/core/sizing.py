@@ -15,6 +15,7 @@ holds back a fast node (Section III-E).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 #: Paper constants (Section III-E).
@@ -52,20 +53,29 @@ class NodeSizing:
         self.size_unit_mb = config.bu_mb  # s_i, initialized to one BU
         self.frozen = False  # productivity passed LINEAR_LIMIT
 
-    def vertical(self, productivity: float) -> None:
-        """Grow s_i from the latest wave's productivity (Alg. 1 lines 7-13)."""
+    def vertical(self, productivity: float) -> str:
+        """Grow s_i from the latest wave's productivity (Alg. 1 lines 7-13).
+
+        Returns the decision taken: ``"fast"`` (doubled), ``"linear"``
+        (+1 BU), ``"freeze"`` (productivity crossed LINEAR_LIMIT just now),
+        or ``"frozen"`` (already frozen, no-op).
+        """
         if not 0.0 <= productivity <= 1.0:
             raise ValueError(f"productivity out of [0,1]: {productivity}")
         if self.frozen:
-            return
+            return "frozen"
         if productivity < self.config.fast_limit:
             self.size_unit_mb *= 2.0
+            decision = "fast"
         elif productivity < self.config.linear_limit:
             self.size_unit_mb += self.config.bu_mb
+            decision = "linear"
         else:
             self.frozen = True
+            decision = "freeze"
         cap = self.config.max_bus * self.config.bu_mb
         self.size_unit_mb = min(self.size_unit_mb, cap)
+        return decision
 
 
 class DynamicSizer:
@@ -83,16 +93,20 @@ class DynamicSizer:
             self._nodes[node_id] = state
         return state
 
-    def record_wave(self, node_id: str, productivity: float) -> None:
+    def record_wave(self, node_id: str, productivity: float) -> str:
         """Feed one completed wave's productivity into vertical scaling."""
-        self.node(node_id).vertical(productivity)
+        return self.node(node_id).vertical(productivity)
 
     def task_size_bus(self, node_id: str, relative_speed: float) -> int:
-        """Horizontal scaling (Alg. 1 lines 15-18): m_i in block units."""
+        """Horizontal scaling (Alg. 1 lines 15-18): m_i in block units.
+
+        Rounds half-up: ``round()`` is banker's rounding in Python, which
+        would shrink a task on exact .5 BU boundaries (2.5 BUs -> 2).
+        """
         if relative_speed <= 0:
             raise ValueError(f"non-positive relative speed: {relative_speed}")
         size_mb = self.node(node_id).size_unit_mb * relative_speed
-        bus = int(round(size_mb / self.config.bu_mb))
+        bus = int(math.floor(size_mb / self.config.bu_mb + 0.5))
         return max(1, min(bus, self.config.max_bus))
 
     def size_unit_mb(self, node_id: str) -> float:

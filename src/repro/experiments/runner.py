@@ -14,6 +14,7 @@ the same cluster, interference schedule, and record skew.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -27,6 +28,7 @@ from repro.hdfs.namenode import NameNode
 from repro.hdfs.placement import PlacementPolicy, RandomPlacement
 from repro.mapreduce.job import JobSpec
 from repro.metrics.efficiency import job_efficiency
+from repro.obs import Observability
 from repro.schedulers.base import AMConfig, ApplicationMaster
 from repro.schedulers.skewtune import SkewTuneAM
 from repro.schedulers.speculation import SpeculationConfig
@@ -82,6 +84,7 @@ class RunResult:
     jct: float
     efficiency: float
     seed: int
+    metrics: dict = field(default_factory=dict)  # obs snapshot, {} when off
 
     def summary(self) -> str:
         """One-line human-readable result summary."""
@@ -103,14 +106,18 @@ def run_job(
     am_config: AMConfig | None = None,
     max_events: int | None = None,
     failures: "FailureSchedule | None" = None,
+    obs: Observability | None = None,
 ) -> RunResult:
     """Simulate one job end-to-end and return its trace + metrics.
 
     ``failures`` optionally injects node crashes (see
     :mod:`repro.cluster.failures`); the engine re-enqueues lost work.
+    ``obs`` threads a structured tracing/metrics bundle through the
+    simulator and the AM; the per-run metric snapshot lands in
+    :attr:`RunResult.metrics`.
     """
     spec = ENGINES[engine] if isinstance(engine, str) else engine
-    sim = Simulator()
+    sim = Simulator(obs=obs)
     streams = RandomStreams(seed)
     cluster = cluster_factory()
     cluster.install(sim, streams)
@@ -137,6 +144,13 @@ def run_job(
 
     rm = ResourceManager(sim, cluster, rng=streams.stream("rm-offers"))
     config = am_config or AMConfig(block_size_mb=spec.block_size_mb)
+    if obs is not None and config.obs is None:
+        config = dataclasses.replace(config, obs=obs)
+    if obs is not None:
+        obs.trace.emit(
+            "run_meta", sim.now,
+            engine=spec.name, cluster=cluster.name, job=job.name, seed=seed,
+        )
     am = spec.build(sim, cluster, rm, namenode, job, streams, config)
     if failures is not None:
         failures.install(sim, cluster, am)
@@ -151,6 +165,7 @@ def run_job(
         jct=trace.jct,
         efficiency=job_efficiency(trace, cluster.total_slots),
         seed=seed,
+        metrics=obs.metrics.snapshot() if obs is not None else {},
     )
 
 

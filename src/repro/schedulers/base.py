@@ -22,6 +22,7 @@ from repro.mapreduce.attempt import TaskAttempt
 from repro.mapreduce.job import JobSpec
 from repro.mapreduce.shuffle import IntermediateStore
 from repro.mapreduce.split import InputSplit
+from repro.obs import Observability
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.sim.trace import JobTrace
@@ -38,6 +39,7 @@ class AMConfig:
     block_size_mb: float = 64.0  # split size for fixed-size engines
     overhead: OverheadModel = field(default_factory=OverheadModel)
     heartbeat_period_s: float = 5.0
+    obs: Observability | None = None  # structured tracing/metrics (off = None)
 
 
 @dataclass
@@ -74,6 +76,7 @@ class ApplicationMaster:
         self.job = job
         self.streams = streams
         self.config = config or AMConfig()
+        self.obs = self.config.obs
         self.trace = JobTrace(job_id=job.name)
         self.store = IntermediateStore()
         self.heartbeat = HeartbeatService(sim, self.config.heartbeat_period_s)
@@ -96,6 +99,10 @@ class ApplicationMaster:
     def submit(self) -> None:
         """Submit the job: prepare map work and start taking containers."""
         self.trace.submit_time = self.sim.now
+        if self.obs is not None:
+            self.obs.trace.emit(
+                "job_start", self.sim.now, job=self.job.name, engine=self.engine_name
+            )
         self.prepare_maps()
         self.heartbeat.subscribe(self._on_heartbeat)
         self.heartbeat.start()
@@ -146,6 +153,8 @@ class ApplicationMaster:
         """RM offer: return True iff a task was launched on the container."""
         if self.job_done:
             return False
+        if self.obs is not None:
+            self.obs.metrics.counter("am.container_offers").inc()
         if not self.maps_done():
             assignment = self.select_map(container)
             if assignment is None:
@@ -197,6 +206,22 @@ class ApplicationMaster:
         )
         self.running_maps[attempt] = assignment
         self.map_containers[attempt] = container
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            metrics.counter("am.containers_bound").inc()
+            metrics.counter("am.maps_launched").inc()
+            if assignment.speculative:
+                metrics.counter("am.speculative_maps").inc()
+                self.obs.trace.emit(
+                    "speculate", self.sim.now,
+                    task=assignment.task_id, node=node.node_id,
+                )
+            self.obs.trace.emit(
+                "map_launch", self.sim.now,
+                task=assignment.task_id, node=node.node_id,
+                size_mb=round(split.size_mb, 3), n_bus=split.num_bus,
+                wave=assignment.wave, speculative=assignment.speculative,
+            )
         if math.isnan(self.trace.map_phase_start):
             self.trace.map_phase_start = self.sim.now
 
@@ -208,6 +233,15 @@ class ApplicationMaster:
             attempt.node.node_id,
             attempt.record.processed_mb * self.job.shuffle_ratio,
         )
+        if self.obs is not None:
+            self.obs.metrics.counter("am.maps_completed").inc()
+            self.obs.trace.emit(
+                "map_complete", self.sim.now,
+                task=attempt.task_id, node=attempt.node.node_id,
+                runtime=round(attempt.record.runtime, 3),
+                size_mb=round(attempt.record.size_mb, 3),
+                productivity=round(attempt.record.productivity, 4),
+            )
         self.on_map_complete(attempt, assignment)
         self.rm.release(container)
         self._check_map_phase_end()
@@ -281,10 +315,24 @@ class ApplicationMaster:
             remote_mb=cross,
         )
         self.running_reduces[attempt] = container
+        if self.obs is not None:
+            self.obs.metrics.counter("am.reduces_launched").inc()
+            self.obs.trace.emit(
+                "reduce_launch", self.sim.now,
+                task=task_id, node=node.node_id,
+                size_mb=round(share, 3), speculative=speculative,
+            )
 
     def _reduce_finished(self, attempt: TaskAttempt, container: Container) -> None:
         self.running_reduces.pop(attempt, None)
         self.trace.add(attempt.record)
+        if self.obs is not None:
+            self.obs.metrics.counter("am.reduces_completed").inc()
+            self.obs.trace.emit(
+                "reduce_complete", self.sim.now,
+                task=attempt.task_id, node=attempt.node.node_id,
+                runtime=round(attempt.record.runtime, 3),
+            )
         self._reduce_done_ids.add(attempt.task_id)
         # First copy home wins: kill the loser of a speculation race.
         for copy, copy_container in list(self.running_reduces.items()):
@@ -392,8 +440,24 @@ class ApplicationMaster:
         self.job_done = True
         self.trace.finish_time = self.sim.now
         self.heartbeat.stop()
+        if self.obs is not None:
+            self.sim.record_obs()
+            self.obs.trace.emit(
+                "job_end", self.sim.now,
+                jct=round(self.trace.jct, 3),
+                maps=len(self.trace.maps()),
+                reduces=len(self.trace.reduces()),
+            )
 
     def _on_heartbeat(self, round_no: int) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter("am.heartbeat_rounds").inc()
+            self.sim.record_obs()
+            self.obs.trace.emit(
+                "heartbeat", self.sim.now, round=round_no,
+                running_maps=len(self.running_maps),
+                running_reduces=len(self.running_reduces),
+            )
         self.on_tick(round_no)
         # Engines with placement filters (FlexMap's reduce bias) may decline
         # every free container in a round; retry on the next heartbeat so

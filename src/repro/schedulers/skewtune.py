@@ -118,6 +118,8 @@ class SkewTuneAM(StockHadoopAM):
             self.finalize_stopped_map(victim, victim_container)
         self.mitigated_tasks.add(victim.task_id)
         self.mitigations += 1
+        if self.obs is not None:
+            self.obs.metrics.counter("skewtune.mitigations").inc()
         # SkewTune plans chunks for all currently-idle slots plus the one
         # just freed, each the same size — the homogeneity assumption.
         idle_slots = sum(n.free_slots for n in self.cluster.nodes)
@@ -139,6 +141,12 @@ class SkewTuneAM(StockHadoopAM):
                     speculative=False,
                     extra_transfer_s=self.st_config.repartition_scan_s,
                 )
+            )
+        if self.obs is not None:
+            self.obs.trace.emit(
+                "mitigate", self.sim.now,
+                task=victim.task_id, node=source_node,
+                remaining_mb=round(remaining_mb, 3), chunks=k,
             )
         self.rm.request_offers()
 

@@ -54,6 +54,8 @@ class StockHadoopAM(ApplicationMaster):
             local = self.index.node_to_block.get(node_id)
             if local:
                 block = self.index.take(min(local))
+                if self.obs is not None:
+                    self.obs.metrics.counter("stock.local_dispatch").inc()
             else:
                 # No local split left: delay briefly hoping for local work,
                 # then run any pending split remotely.
@@ -69,6 +71,12 @@ class StockHadoopAM(ApplicationMaster):
                     if donor is not None
                     else next(iter(b.block_id for b in self.index.remaining_blocks()))
                 )
+                if self.obs is not None:
+                    self.obs.metrics.counter("stock.remote_dispatch").inc()
+                    self.obs.trace.emit(
+                        "remote_fallback", self.sim.now,
+                        node=node_id, waited_s=round(waited, 3),
+                    )
             self._idle_since.pop(node_id, None)
             wave = self._wave_counter.get(node_id, 0)
             self._wave_counter[node_id] = wave + 1

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 @dataclass(order=True)
@@ -51,11 +54,14 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: "Observability | None" = None) -> None:
         self.now: float = 0.0
         self._heap: list[_Entry] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        # Observability is sampled (record_obs), never per-event: step() has
+        # no instrumentation branch, so a disabled run costs nothing extra.
+        self._obs = obs
 
     # ------------------------------------------------------------------
     # scheduling
@@ -96,17 +102,32 @@ class Simulator:
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the event heap drains, ``until`` is reached, or
-        ``max_events`` have been processed."""
+        ``max_events`` have been processed.
+
+        A bounded run (``until=T``) always leaves ``now == T`` when it stops
+        for lack of work — including when the heap drains (or every pending
+        event is cancelled) before ``T`` — so back-to-back ``run(until=...)``
+        calls observe a consistent clock.  Stopping on ``max_events`` leaves
+        the clock at the last processed event: work may remain before ``T``.
+        """
         processed = 0
         while self._heap:
             if max_events is not None and processed >= max_events:
                 return
-            if until is not None and self.peek_time() is not None and self.peek_time() > until:
-                self.now = until
-                return
+            if until is not None:
+                nxt = self.peek_time()
+                if nxt is None:
+                    break
+                if nxt > until:
+                    self.now = until
+                    self._record_run_obs()
+                    return
             if not self.step():
-                return
+                break
             processed += 1
+        if until is not None and self.now < until:
+            self.now = until
+        self._record_run_obs()
 
     def peek_time(self) -> float | None:
         """Time of the next non-cancelled event, or None if idle."""
@@ -122,3 +143,28 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    @property
+    def heap_depth(self) -> int:
+        """Raw heap size, cancelled entries included (the memory footprint)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # observability (sampled — never on the per-event path)
+    # ------------------------------------------------------------------
+    def record_obs(self) -> None:
+        """Snapshot engine gauges into the attached metrics registry.
+
+        Called by drivers at natural sampling points (heartbeat rounds, end
+        of bounded runs, job completion); a no-op when observability is off.
+        """
+        if self._obs is None:
+            return
+        metrics = self._obs.metrics
+        metrics.gauge("sim.events_processed").set(self._events_processed)
+        metrics.gauge("sim.heap_depth").set(len(self._heap))
+        metrics.gauge("sim.now").set(self.now)
+
+    def _record_run_obs(self) -> None:
+        if self._obs is not None:
+            self.record_obs()

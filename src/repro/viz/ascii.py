@@ -25,6 +25,27 @@ def sparkline(values: list[float], width: int = 60) -> str:
     return "".join(_LEVELS[i] for i in idx)
 
 
+def labeled_sparklines(
+    rows: list[tuple[str, list[float]]],
+    width: int = 48,
+    label_width: int = 14,
+) -> str:
+    """Aligned block of ``label  min..max |sparkline|`` lines.
+
+    Series are scaled independently (each to its own maximum), which is the
+    right view for per-node timelines where the units differ per row.
+    """
+    lines = []
+    for label, values in rows:
+        if not values:
+            lines.append(f"  {label:<{label_width}} (no data)")
+            continue
+        lo, hi = min(values), max(values)
+        spark = sparkline(values, width)
+        lines.append(f"  {label:<{label_width}}{lo:>9.2f}..{hi:<9.2f} |{spark}|")
+    return "\n".join(lines)
+
+
 def histogram(values: list[float], bins: int = 10, width: int = 40) -> str:
     """Multi-line horizontal histogram with counts."""
     if not values:

@@ -39,6 +39,35 @@ def test_figure_fig7(capsys):
     assert "fast" in out and "BUs" in out
 
 
+def test_run_with_trace_and_metrics_roundtrips_through_summarize(capsys, tmp_path):
+    trace_file = tmp_path / "run.jsonl"
+    metrics_file = tmp_path / "run-metrics.json"
+    rc = main(["run", "--cluster", "heterogeneous6", "--engine", "flexmap",
+               "--benchmark", "HR", "--input-gb", "1", "--seed", "3",
+               "--trace-out", str(trace_file), "--metrics-out", str(metrics_file)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "observability:" in out and "trace written" in out
+    assert trace_file.exists() and metrics_file.exists()
+
+    import json
+
+    metrics = json.loads(metrics_file.read_text())
+    assert metrics["counters"]["am.maps_launched"] > 0
+
+    rc = main(["trace", "summarize", str(trace_file)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-node sizing timeline" in out
+    assert "engine=flexmap" in out
+    assert "s_i" in out and "ips" in out
+
+
+def test_trace_summarize_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace"])
+
+
 def test_unknown_engine_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--engine", "nope"])

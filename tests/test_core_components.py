@@ -76,6 +76,50 @@ def test_monitor_validation():
         SpeedMonitor(window=0)
 
 
+def test_monitor_drops_stale_round_reports():
+    """A replayed or out-of-order round must not mix into the window."""
+    m = SpeedMonitor()
+    m.report_round(3, {"a": [2.0]})
+    # Replay of the same round and an older round are both stale.
+    assert m.report_round(3, {"a": [100.0]}) == 1
+    assert m.report_round(2, {"a": [100.0]}) == 1
+    assert m.stale_reports == 2
+    assert m.get_speed("a") == pytest.approx(2.0)
+    # A strictly newer round is accepted again.
+    assert m.report_round(4, {"a": [4.0]}) == 0
+    assert m.get_speed("a") == pytest.approx(3.0)
+    assert m.last_round("a") == 4
+
+
+def test_monitor_round_tracking_is_per_node():
+    m = SpeedMonitor()
+    m.report_round(5, {"a": [1.0]})
+    # Node b has never reported: round 2 is fresh for it, stale for a.
+    dropped = m.report_round(2, {"a": [9.0], "b": [3.0]})
+    assert dropped == 1
+    assert m.get_speed("a") == pytest.approx(1.0)
+    assert m.get_speed("b") == pytest.approx(3.0)
+
+
+def test_monitor_empty_round_still_advances_round_tracking():
+    """A round where every container was in startup is still 'seen'."""
+    m = SpeedMonitor()
+    m.report_round(1, {"a": [0.0]})
+    assert m.report_round(1, {"a": [5.0]}) == 1  # replay of round 1
+    assert m.get_speed("a") is None
+
+
+def test_monitor_new_epoch_accepts_restarted_numbering():
+    """Warm-started iterative AMs restart heartbeat rounds at 1; after
+    new_epoch() the carried-over monitor must accept them (samples kept)."""
+    m = SpeedMonitor()
+    m.report_round(50, {"a": [2.0]})
+    assert m.report_round(1, {"a": [4.0]}) == 1  # stale without the reset
+    m.new_epoch()
+    assert m.report_round(1, {"a": [4.0]}) == 0
+    assert m.get_speed("a") == pytest.approx(3.0)
+
+
 # ---------------------------------------------------------------------------
 # Sizing — Algorithm 1
 # ---------------------------------------------------------------------------
@@ -132,6 +176,32 @@ def test_horizontal_rounding_and_floor():
     d = DynamicSizer()
     assert d.task_size_bus("n", relative_speed=1.4) == 1  # round(1.4) -> 1
     assert d.task_size_bus("n", relative_speed=1.6) == 2
+
+
+def test_horizontal_rounds_half_up_not_half_even():
+    """Regression: int(round(2.5)) is 2 under banker's rounding, silently
+    shrinking tasks on exact .5 BU boundaries; Algorithm 1 rounds half-up."""
+    d = DynamicSizer()
+    d.record_wave("n", 0.3)  # s_i -> 16 MB = 2 BUs
+    assert d.task_size_bus("n", relative_speed=1.25) == 3  # 2.5 BUs -> 3
+    assert d.task_size_bus("n", relative_speed=1.75) == 4  # 3.5 BUs -> 4
+    assert d.task_size_bus("n", relative_speed=2.25) == 5  # 4.5 BUs -> 5
+    # Below-the-half boundaries still round down.
+    assert d.task_size_bus("n", relative_speed=1.2) == 2  # 2.4 BUs -> 2
+
+
+def test_horizontal_half_up_on_fresh_node():
+    d = DynamicSizer()
+    assert d.task_size_bus("n", relative_speed=1.5) == 2  # 1.5 BUs -> 2
+    assert d.task_size_bus("n", relative_speed=2.5) == 3  # 2.5 BUs -> 3
+
+
+def test_vertical_returns_decision():
+    s = NodeSizing(SizingConfig())
+    assert s.vertical(0.3) == "fast"
+    assert s.vertical(0.85) == "linear"
+    assert s.vertical(0.95) == "freeze"
+    assert s.vertical(0.1) == "frozen"
 
 
 def test_nodes_grow_independently():
@@ -244,6 +314,56 @@ def test_ltb_put_back():
     binder.put_back(split)
     assert binder.unprocessed_bus == 2
     assert binder.templates_used == 0
+
+
+def _assert_ltb_invariant(binder):
+    """templates_used + unprocessed_bus == len(templates), at every step."""
+    assert binder.templates_used + binder.unprocessed_bus == len(binder.templates)
+
+
+def test_ltb_accounting_invariant_under_kill_and_rebind_cycles():
+    reps = [("a", "b"), ("b", "c"), ("a", "c"), ("a",), ("b",), ("c",), ("a",), ("b",)]
+    binder = LateTaskBinder(blocks_for(reps))
+    _assert_ltb_invariant(binder)
+    # Cycle 1: bind on every node, then kill (put back) all splits.
+    splits = []
+    for node in ["a", "b", "c"]:
+        split = binder.bind(node, 2)
+        splits.append(split)
+        _assert_ltb_invariant(binder)
+    for split in splits:
+        binder.put_back(split)
+        _assert_ltb_invariant(binder)
+    assert binder.templates_used == 0
+    assert binder.unprocessed_bus == len(reps)
+    # Cycle 2: partial kill-and-rebind — one split dies, others survive.
+    s1 = binder.bind("a", 3)
+    s2 = binder.bind("b", 3)
+    _assert_ltb_invariant(binder)
+    binder.put_back(s1)  # node a crashed
+    _assert_ltb_invariant(binder)
+    rebound = binder.bind("c", 8)  # survivor claims everything left
+    _assert_ltb_invariant(binder)
+    assert rebound.num_bus == len(reps) - s2.num_bus
+    # Drain: nothing left, every template accounted for, none discarded.
+    assert binder.bind("a", 1) is None
+    _assert_ltb_invariant(binder)
+    assert binder.unprocessed_bus == 0
+    assert binder.templates_used == len(reps)
+    assert binder.templates_discarded == 0
+
+
+def test_ltb_discard_count_after_put_back_and_drain():
+    """put_back then a larger final bind: the discard count must reflect
+    templates that never became tasks only once all BUs are taken."""
+    binder = LateTaskBinder(blocks_for([("a",), ("a",), ("b",)]))
+    split = binder.bind("a", 2)
+    binder.put_back(split)
+    assert binder.templates_discarded == 0  # all BUs unprocessed again
+    binder.bind("b", 3)  # one task swallows all three BUs
+    _assert_ltb_invariant(binder)
+    assert binder.templates_discarded == 0
+    assert binder.templates_used == 3
 
 
 def test_ltb_each_bu_bound_once():

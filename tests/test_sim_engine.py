@@ -96,6 +96,62 @@ def test_run_until_stops_clock(sim):
     assert fired == [1, 10]
 
 
+def test_run_until_advances_clock_when_heap_drains_early(sim):
+    # Regression: the heap drains at t=2 but the bounded run must still
+    # leave the clock at `until` so back-to-back bounded runs are coherent.
+    fired = []
+    sim.schedule(2.0, lambda: fired.append(sim.now))
+    sim.run(until=10.0)
+    assert fired == [2.0]
+    assert sim.now == 10.0
+
+
+def test_run_until_advances_clock_on_empty_heap(sim):
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_run_until_advances_clock_when_all_events_cancelled(sim):
+    h1 = sim.schedule(1.0, lambda: None)
+    h2 = sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    h2.cancel()
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+
+
+def test_back_to_back_bounded_runs_observe_consistent_clock(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+    # Scheduling relative to the advanced clock must land after `until`.
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run(until=20.0)
+    assert fired == [1.0, 11.0]
+    assert sim.now == 20.0
+
+
+def test_run_until_does_not_rewind_past_events(sim):
+    sim.schedule(3.0, lambda: None)
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    # The clock never moved backwards and the event fired exactly once.
+    assert sim.events_processed == 1
+
+
+def test_run_max_events_leaves_clock_at_last_event(sim):
+    # Stopping on max_events is NOT a drained run: pending work remains
+    # before `until`, so the clock must stay at the last processed event.
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run(until=10.0, max_events=2)
+    assert sim.now == 2.0
+    assert sim.pending == 3
+
+
 def test_run_max_events(sim):
     fired = []
     for i in range(5):
