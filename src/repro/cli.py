@@ -14,6 +14,7 @@ Simulated seconds, deterministic under ``--seed``.
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 
 from repro.experiments import figures as F
@@ -28,13 +29,14 @@ from repro.experiments.report import render_series, render_table
 from repro.experiments.runner import ENGINES, compare_engines, run_job
 from repro.workloads.puma import FIGURE_ORDER, PUMA_BENCHMARKS, puma
 
+# partial (not lambda) so factories stay picklable for `compare --jobs N`.
 CLUSTERS = {
     "physical": physical_cluster,
     "virtual": virtual_cluster,
     "homogeneous": homogeneous_cluster,
     "heterogeneous6": heterogeneous6_cluster,
-    "multitenant20": lambda: multitenant_cluster(0.2),
-    "multitenant40": lambda: multitenant_cluster(0.4),
+    "multitenant20": functools.partial(multitenant_cluster, 0.2),
+    "multitenant40": functools.partial(multitenant_cluster, 0.4),
 }
 
 FIGURES = ("fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "overhead", "ablation")
@@ -51,11 +53,19 @@ def _cluster(name: str):
 # subcommands
 # ---------------------------------------------------------------------------
 def cmd_list(args) -> int:
-    """List engines, clusters, benchmarks and figures."""
-    print("engines:    " + ", ".join(sorted(ENGINES)))
-    print("clusters:   " + ", ".join(sorted(CLUSTERS)))
-    print("benchmarks: " + ", ".join(w.abbrev for w in PUMA_BENCHMARKS))
-    print("figures:    " + ", ".join(FIGURES))
+    """List engines, clusters, workloads, figures and service policies."""
+    from repro.multijob.arrivals import ARRIVAL_KINDS
+    from repro.multijob.policies import CLUSTER_POLICIES
+
+    print("engines:     " + ", ".join(sorted(ENGINES)))
+    print("clusters:    " + ", ".join(sorted(CLUSTERS)))
+    print("benchmarks:  " + ", ".join(w.abbrev for w in PUMA_BENCHMARKS))
+    print("workloads:   " + ", ".join(
+        f"{w.abbrev}={w.name}" for w in PUMA_BENCHMARKS))
+    print("figures:     " + ", ".join(FIGURES))
+    print("policies:    " + ", ".join(sorted(CLUSTER_POLICIES))
+          + "   (cluster schedulers for `repro serve`)")
+    print("arrivals:    " + ", ".join(ARRIVAL_KINDS))
     return 0
 
 
@@ -117,20 +127,17 @@ def cmd_trace(args) -> int:
 
 def cmd_compare(args) -> int:
     """Run several engines over shared seeds and tabulate."""
+    from repro.experiments.stats import seed_sweep
+
     engines = args.engines or sorted(ENGINES)
     rows = []
-    import numpy as np
-
     for engine in engines:
-        jcts, effs = [], []
-        for seed in args.seeds:
-            r = run_job(
-                _cluster(args.cluster), puma(args.benchmark), engine, seed=seed,
-                input_mb=args.input_gb * 1024.0 if args.input_gb else None,
-            )
-            jcts.append(r.jct)
-            effs.append(r.efficiency)
-        rows.append([engine, float(np.mean(jcts)), float(np.std(jcts)), float(np.mean(effs))])
+        sweep = seed_sweep(
+            _cluster(args.cluster), puma(args.benchmark), engine,
+            seeds=list(args.seeds), jobs=args.jobs,
+            input_mb=args.input_gb * 1024.0 if args.input_gb else None,
+        )
+        rows.append([engine, sweep.jct.mean, sweep.jct.std, sweep.efficiency.mean])
     base = next(r[1] for r in rows if r[0] == "hadoop-64") if any(
         r[0] == "hadoop-64" for r in rows
     ) else rows[0][1]
@@ -142,6 +149,112 @@ def cmd_compare(args) -> int:
         rows,
         col_width=18,
     ))
+    return 0
+
+
+def _parse_queues(text: str | None) -> dict[str, float] | None:
+    """Parse ``name=weight,name=weight`` capacity-queue shares."""
+    if not text:
+        return None
+    queues: dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise SystemExit(f"bad queue spec {part!r}; expected name=weight")
+        name, _, weight = part.partition("=")
+        try:
+            queues[name.strip()] = float(weight)
+        except ValueError:
+            raise SystemExit(f"bad queue weight in {part!r}") from None
+    return queues or None
+
+
+def cmd_serve(args) -> int:
+    """Run a multi-job arrival stream and print the cluster SLO report."""
+    import json
+    import time
+
+    from repro.multijob.arrivals import (
+        ClosedLoopArrivals,
+        PoissonArrivals,
+        load_arrival_trace,
+    )
+    from repro.multijob.service import ClusterService
+    from repro.sim.random import RandomStreams
+
+    obs = None
+    if args.trace_out:
+        from repro.obs import Observability
+
+        obs = Observability.for_files(trace_path=args.trace_out)
+
+    engines = tuple(args.engines)
+    benchmarks = tuple(args.benchmarks)
+    if args.arrivals == "poisson":
+        arrivals = PoissonArrivals(
+            rate=args.rate,
+            n_jobs=args.n_jobs,
+            rng=RandomStreams(args.seed).stream("arrivals"),
+            benchmarks=benchmarks,
+            engines=engines,
+            input_scale=args.scale,
+        )
+    elif args.arrivals == "closed":
+        arrivals = ClosedLoopArrivals(
+            n_jobs=args.n_jobs,
+            width=args.width,
+            think_time_s=args.think_time,
+            benchmarks=benchmarks,
+            engines=engines,
+            input_scale=args.scale,
+        )
+    else:  # trace
+        if not args.trace_file:
+            raise SystemExit("--arrivals trace requires --trace-file")
+        arrivals = load_arrival_trace(args.trace_file)
+
+    service = ClusterService(
+        _cluster(args.cluster),
+        arrivals,
+        policy=args.policy,
+        seed=args.seed,
+        queues=_parse_queues(args.queues),
+        utilization_period_s=args.util_period,
+        obs=obs,
+    )
+    wall_start = time.perf_counter()
+    result = service.run(compute_slowdown=not args.no_slowdown)
+    wall = time.perf_counter() - wall_start
+    print(result.report.render())
+    if obs is not None:
+        obs.close()
+        print(f"trace written to {args.trace_out}")
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(result.report.to_json())
+        print(f"report written to {args.report_out}")
+    if args.bench_out:
+        bench = {
+            "scenario": {
+                "cluster": args.cluster,
+                "arrivals": args.arrivals,
+                "policy": args.policy,
+                "n_jobs": arrivals.total_jobs,
+                "seed": args.seed,
+                "scale": args.scale,
+            },
+            "events": result.events_processed,
+            "wall_time_s": round(wall, 3),
+            "events_per_sec": round(result.events_processed / wall, 1) if wall > 0 else None,
+            "makespan_s": round(result.report.makespan, 3),
+            "jct_p99_s": round(result.report.jct.p99, 3),
+        }
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(bench, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"benchmark record written to {args.bench_out}")
     return 0
 
 
@@ -226,6 +339,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--engines", nargs="*", choices=sorted(ENGINES))
     p_cmp.add_argument("--seeds", nargs="*", type=int, default=[1, 2])
     p_cmp.add_argument("--input-gb", type=float, default=None)
+    p_cmp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run seeds in N worker processes (1 = serial, "
+                            "bit-identical output either way)")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name", choices=FIGURES)
@@ -233,6 +349,44 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["physical", "virtual"])
     p_fig.add_argument("--seed", type=int, default=1)
     p_fig.add_argument("--scale", type=float, default=0.25)
+
+    p_srv = sub.add_parser(
+        "serve", help="run a multi-job arrival stream and report cluster SLOs"
+    )
+    p_srv.add_argument("--cluster", default="physical")
+    p_srv.add_argument("--arrivals", default="poisson",
+                       choices=["poisson", "closed", "trace"])
+    p_srv.add_argument("--rate", type=float, default=0.05,
+                       help="poisson arrival rate in jobs/second")
+    p_srv.add_argument("--n-jobs", type=int, default=20,
+                       help="total jobs to submit (poisson/closed)")
+    p_srv.add_argument("--width", type=int, default=4,
+                       help="closed-loop multiprogramming level")
+    p_srv.add_argument("--think-time", type=float, default=0.0,
+                       help="closed-loop delay between completion and next admit")
+    p_srv.add_argument("--trace-file", default=None, metavar="FILE",
+                       help="arrival trace (JSONL) for --arrivals trace")
+    p_srv.add_argument("--policy", default="fair",
+                       choices=["fifo", "fair", "capacity"])
+    p_srv.add_argument("--queues", default=None, metavar="Q=W,...",
+                       help="capacity-queue weights, e.g. batch=3,adhoc=1")
+    p_srv.add_argument("--engines", nargs="*", default=["flexmap", "hadoop-64"],
+                       choices=sorted(ENGINES))
+    p_srv.add_argument("--benchmarks", nargs="*",
+                       default=["WC", "GR", "HR", "HM"])
+    p_srv.add_argument("--scale", type=float, default=0.125,
+                       help="input scale vs. Table II small sizes")
+    p_srv.add_argument("--seed", type=int, default=1)
+    p_srv.add_argument("--util-period", type=float, default=5.0,
+                       help="utilization sampling period (sim seconds)")
+    p_srv.add_argument("--no-slowdown", action="store_true",
+                       help="skip the isolated baseline runs (faster)")
+    p_srv.add_argument("--report-out", default=None, metavar="FILE",
+                       help="write the SLO report as JSON to FILE")
+    p_srv.add_argument("--bench-out", default=None, metavar="FILE",
+                       help="write engine events/sec + wall time JSON to FILE")
+    p_srv.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the service's typed JSONL trace to FILE")
 
     p_trace = sub.add_parser("trace", help="inspect a recorded JSONL trace")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
@@ -250,7 +404,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
-                "figure": cmd_figure, "trace": cmd_trace}
+                "figure": cmd_figure, "trace": cmd_trace, "serve": cmd_serve}
     return handlers[args.command](args)
 
 

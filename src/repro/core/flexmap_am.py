@@ -138,6 +138,13 @@ class FlexMapAM(ApplicationMaster):
         fills the cluster (the "AM stops creating new map tasks" boundary of
         Fig. 4, step 6).  Irrelevant while plenty of BUs remain because the
         share is then far above Algorithm 1's size.
+
+        When the cluster is shared (multi-job RM), the job can only ever
+        occupy ~1/J of the slots, so the per-container share of *its*
+        remaining data is J times larger: capping against whole-cluster
+        capacity would shred the input into J times too many
+        overhead-dominated tasks.  ``num_active_apps`` is 1 in single-job
+        mode, making this a strict generalization of the original formula.
         """
         assert self.binder is not None
         remaining = self.binder.unprocessed_bus
@@ -146,6 +153,7 @@ class FlexMapAM(ApplicationMaster):
             for n in self.cluster.nodes
         }
         total_capacity = sum(speeds[n.node_id] * n.slots for n in self.cluster.nodes)
+        total_capacity /= getattr(self.rm, "num_active_apps", 1)
         share = speeds[node_id] / total_capacity if total_capacity > 0 else 1.0
         return max(1, int(math.ceil(remaining * share)))
 

@@ -51,10 +51,19 @@ class EngineSpec:
     factory: AMFactory
     kwargs: dict = field(default_factory=dict)
 
-    def build(self, sim, cluster, rm, namenode, job, streams, config) -> ApplicationMaster:
-        """Instantiate this engine's ApplicationMaster."""
+    def build(
+        self, sim, cluster, rm, namenode, job, streams, config, extra: dict | None = None
+    ) -> ApplicationMaster:
+        """Instantiate this engine's ApplicationMaster.
+
+        ``extra`` merges caller-provided constructor kwargs over the spec's
+        own (the multi-job service injects a shared SpeedMonitor this way).
+        """
+        kwargs = dict(self.kwargs)
+        if extra:
+            kwargs.update(extra)
         return self.factory(
-            sim, cluster, rm, namenode, job, streams, config, **self.kwargs
+            sim, cluster, rm, namenode, job, streams, config, **kwargs
         )
 
 
@@ -80,7 +89,7 @@ class RunResult:
     cluster_name: str
     job: JobSpec
     trace: JobTrace
-    am: ApplicationMaster
+    am: ApplicationMaster | None  # None when shipped across processes
     jct: float
     efficiency: float
     seed: int

@@ -9,6 +9,7 @@ engines and reports normalized means with spread.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable
 
@@ -60,17 +61,51 @@ class SweepResult:
     efficiency: SweepStats
 
 
+def _sweep_worker(payload: tuple) -> RunResult:
+    """Run one seed in a worker process (module-level for pickling).
+
+    The returned result drops the live ApplicationMaster handle — it holds
+    simulator internals (pending-event closures) that cannot cross the
+    process boundary; every metric consumed by sweep statistics lives in
+    the trace and the precomputed fields.
+    """
+    cluster_factory, workload, engine, seed, kwargs = payload
+    result = run_job(cluster_factory, workload, engine, seed=seed, **kwargs)
+    return dataclasses.replace(result, am=None)
+
+
 def seed_sweep(
     cluster_factory: Callable[[], Cluster],
     workload: WorkloadSpec | JobSpec,
     engine: str | EngineSpec,
     seeds: list[int],
+    jobs: int = 1,
     **kwargs,
 ) -> SweepResult:
-    """Run one (cluster, workload, engine) configuration across seeds."""
+    """Run one (cluster, workload, engine) configuration across seeds.
+
+    ``jobs`` > 1 fans the seeds out over a ``ProcessPoolExecutor``.  Every
+    seed's simulation is self-contained, so results are merged back in seed
+    order and the summary statistics are identical for any ``jobs`` value;
+    the serial default additionally keeps the per-run ``am`` handle (and
+    accepts unpicklable cluster factories such as lambdas).
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    runs = [run_job(cluster_factory, workload, engine, seed=s, **kwargs) for s in seeds]
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs}")
+    if jobs == 1:
+        runs = [
+            run_job(cluster_factory, workload, engine, seed=s, **kwargs)
+            for s in seeds
+        ]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [(cluster_factory, workload, engine, s, kwargs) for s in seeds]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
+            # executor.map preserves input order: merged in seed order.
+            runs = list(pool.map(_sweep_worker, payloads))
     return SweepResult(
         engine=runs[0].engine,
         runs=runs,

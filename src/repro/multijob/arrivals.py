@@ -1,0 +1,274 @@
+"""Job arrival processes for the multi-job cluster service.
+
+Three ways jobs enter the cluster:
+
+* :class:`PoissonArrivals` — an open-loop stream with exponential
+  inter-arrival times at ``rate`` jobs/second (the classic M/G/k offered
+  load), drawing benchmarks and engines from round-robin mixes;
+* :class:`ClosedLoopArrivals` — a fixed multiprogramming level: ``width``
+  jobs are in flight at all times, a completion immediately (plus think
+  time) admits the next job;
+* :class:`TraceArrivals` — replay of an explicit workload trace, one JSONL
+  object per submission (see :func:`load_arrival_trace` for the schema).
+
+All processes are deterministic given their inputs; Poisson draws come from
+a caller-provided seeded generator so the whole service run replays
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.workloads.puma import puma
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One job submission: when, what, and under which engine/queue."""
+
+    submit_time: float
+    workload: WorkloadSpec
+    engine: str
+    input_mb: float | None = None  # None = workload's Table II small input
+    queue: str = "default"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0:
+            raise ValueError(f"negative submit time: {self.submit_time}")
+        if self.weight <= 0:
+            raise ValueError(f"non-positive weight: {self.weight}")
+
+
+class ArrivalProcess:
+    """Produces job submissions; open-loop or completion-driven."""
+
+    kind = "base"
+
+    @property
+    def total_jobs(self) -> int:
+        """Number of jobs this process will submit over its lifetime."""
+        raise NotImplementedError
+
+    def initial(self) -> list[JobRequest]:
+        """Submissions known up front, each carrying its submit time."""
+        raise NotImplementedError
+
+    def next_on_completion(self, completed: int, now: float) -> JobRequest | None:
+        """Closed-loop hook: next admission after the ``completed``-th job
+        finishes at ``now``.  Open-loop processes return None."""
+        return None
+
+
+def _round_robin(
+    index: int, benchmarks: tuple[WorkloadSpec, ...], engines: tuple[str, ...]
+) -> tuple[WorkloadSpec, str]:
+    """Deterministic benchmark/engine mix.
+
+    The engine cycle advances every job and the benchmark cycle advances
+    every ``len(engines)`` jobs, so each benchmark is submitted under every
+    engine before moving on — engine comparisons in the SLO report are over
+    the same job mix, not disjoint benchmark sets.
+    """
+    return (
+        benchmarks[(index // len(engines)) % len(benchmarks)],
+        engines[index % len(engines)],
+    )
+
+
+def _request_input_mb(
+    workload: WorkloadSpec, input_mb: float | None, input_scale: float
+) -> float:
+    """Input size for one submission: explicit MB wins, else the
+    workload's Table II small input times ``input_scale``."""
+    if input_mb is not None:
+        return input_mb
+    return workload.small_gb * 1024.0 * input_scale
+
+
+def _resolve_benchmarks(benchmarks: tuple[str, ...]) -> tuple[WorkloadSpec, ...]:
+    if not benchmarks:
+        raise ValueError("need at least one benchmark")
+    return tuple(puma(b) for b in benchmarks)
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop Poisson stream of ``n_jobs`` submissions."""
+
+    kind = "poisson"
+
+    def __init__(
+        self,
+        rate: float,
+        n_jobs: int,
+        rng: np.random.Generator,
+        benchmarks: tuple[str, ...] = ("WC", "GR", "HR", "HM"),
+        engines: tuple[str, ...] = ("flexmap", "hadoop-64"),
+        input_mb: float | None = None,
+        input_scale: float = 1.0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"non-positive arrival rate: {rate}")
+        if n_jobs < 1:
+            raise ValueError(f"need at least one job: {n_jobs}")
+        if not engines:
+            raise ValueError("need at least one engine")
+        if input_scale <= 0:
+            raise ValueError(f"non-positive input scale: {input_scale}")
+        self.rate = rate
+        self.n_jobs = n_jobs
+        self.benchmarks = _resolve_benchmarks(benchmarks)
+        self.engines = tuple(engines)
+        self.input_mb = input_mb
+        self.input_scale = input_scale
+        # Draw the whole arrival pattern up front so the stream is fixed by
+        # the generator state, independent of simulation interleaving.
+        gaps = rng.exponential(1.0 / rate, size=n_jobs)
+        self._times = np.cumsum(gaps)
+
+    @property
+    def total_jobs(self) -> int:
+        return self.n_jobs
+
+    def initial(self) -> list[JobRequest]:
+        requests = []
+        for i, t in enumerate(self._times):
+            workload, engine = _round_robin(i, self.benchmarks, self.engines)
+            requests.append(
+                JobRequest(
+                    submit_time=float(t),
+                    workload=workload,
+                    engine=engine,
+                    input_mb=_request_input_mb(workload, self.input_mb, self.input_scale),
+                )
+            )
+        return requests
+
+
+class ClosedLoopArrivals(ArrivalProcess):
+    """Fixed multiprogramming level: admit a job per completion."""
+
+    kind = "closed"
+
+    def __init__(
+        self,
+        n_jobs: int,
+        width: int = 4,
+        think_time_s: float = 0.0,
+        benchmarks: tuple[str, ...] = ("WC", "GR", "HR", "HM"),
+        engines: tuple[str, ...] = ("flexmap", "hadoop-64"),
+        input_mb: float | None = None,
+        input_scale: float = 1.0,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError(f"need at least one job: {n_jobs}")
+        if width < 1:
+            raise ValueError(f"non-positive width: {width}")
+        if think_time_s < 0:
+            raise ValueError(f"negative think time: {think_time_s}")
+        if not engines:
+            raise ValueError("need at least one engine")
+        if input_scale <= 0:
+            raise ValueError(f"non-positive input scale: {input_scale}")
+        self.n_jobs = n_jobs
+        self.width = min(width, n_jobs)
+        self.think_time_s = think_time_s
+        self.benchmarks = _resolve_benchmarks(benchmarks)
+        self.engines = tuple(engines)
+        self.input_mb = input_mb
+        self.input_scale = input_scale
+        self._issued = 0
+
+    @property
+    def total_jobs(self) -> int:
+        return self.n_jobs
+
+    def _request(self, index: int, submit_time: float) -> JobRequest:
+        workload, engine = _round_robin(index, self.benchmarks, self.engines)
+        return JobRequest(
+            submit_time=submit_time,
+            workload=workload,
+            engine=engine,
+            input_mb=_request_input_mb(workload, self.input_mb, self.input_scale),
+        )
+
+    def initial(self) -> list[JobRequest]:
+        first = [self._request(i, 0.0) for i in range(self.width)]
+        self._issued = len(first)
+        return first
+
+    def next_on_completion(self, completed: int, now: float) -> JobRequest | None:
+        if self._issued >= self.n_jobs:
+            return None
+        request = self._request(self._issued, now + self.think_time_s)
+        self._issued += 1
+        return request
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay an explicit list of :class:`JobRequest` submissions."""
+
+    kind = "trace"
+
+    def __init__(self, requests: list[JobRequest]) -> None:
+        if not requests:
+            raise ValueError("empty arrival trace")
+        self.requests = sorted(requests, key=lambda r: r.submit_time)
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.requests)
+
+    def initial(self) -> list[JobRequest]:
+        return list(self.requests)
+
+
+def load_arrival_trace(path: str | Path) -> TraceArrivals:
+    """Parse a JSONL workload file into a :class:`TraceArrivals` process.
+
+    Schema (one JSON object per line; ``#``-prefixed and blank lines are
+    skipped)::
+
+        {"t": 12.5, "benchmark": "WC", "engine": "flexmap",
+         "input_mb": 2048.0, "queue": "batch", "weight": 2.0}
+
+    ``t`` (submit time, seconds) and ``benchmark`` (PUMA abbreviation) are
+    required; ``engine`` defaults to ``flexmap``, ``input_mb`` to the
+    benchmark's Table II small input, ``queue``/``weight`` to the capacity
+    scheduler defaults.
+    """
+    requests: list[JobRequest] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from None
+            if "t" not in obj or "benchmark" not in obj:
+                raise ValueError(f"{path}:{lineno}: need 't' and 'benchmark' fields")
+            requests.append(
+                JobRequest(
+                    submit_time=float(obj["t"]),
+                    workload=puma(str(obj["benchmark"])),
+                    engine=str(obj.get("engine", "flexmap")),
+                    input_mb=(
+                        float(obj["input_mb"]) if obj.get("input_mb") is not None else None
+                    ),
+                    queue=str(obj.get("queue", "default")),
+                    weight=float(obj.get("weight", 1.0)),
+                )
+            )
+    return TraceArrivals(requests)
+
+
+#: Registry used by the CLI.
+ARRIVAL_KINDS: tuple[str, ...] = ("poisson", "closed", "trace")

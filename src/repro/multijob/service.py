@@ -1,0 +1,391 @@
+"""The multi-job service driver: many concurrent AMs, one shared cluster.
+
+One :class:`ClusterService` owns a single Simulator, Cluster, NameNode and
+ResourceManager.  Jobs from an arrival process are submitted at their
+arrival times; each gets its own ApplicationMaster (any engine from the
+single-job registry — FlexMap jobs co-run with stock-Hadoop jobs), while
+the RM routes container offers through the configured cluster scheduling
+policy with per-job slot accounting.
+
+FlexMap AMs share **one** SpeedMonitor: IPS knowledge about a node learned
+by one job's containers immediately informs every other job's task sizing,
+exactly as a long-lived cluster service would accumulate it.  Heartbeat
+rounds are numbered per AM lifetime, so the shared monitor is wrapped in
+:class:`SharedSpeedMonitor`, which renumbers reports into one global
+sequence (the monitor's staleness check is round-scoped).
+
+Every job draws its stochastic inputs (skew, overhead jitter, exec noise)
+from streams namespaced by its job id, so adding a job to the mix never
+perturbs the draws other jobs see, and a fixed seed replays the whole
+service run bit-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.flexmap_am import FlexMapAM
+from repro.core.speed_monitor import SpeedMonitor
+from repro.experiments.runner import ENGINES, run_job
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.placement import RandomPlacement
+from repro.mapreduce.job import JobSpec
+from repro.multijob.arrivals import ArrivalProcess, JobRequest
+from repro.multijob.policies import ClusterSchedulerPolicy, make_policy
+from repro.multijob.slo import SLOReport, compute_slo
+from repro.obs import Observability
+from repro.schedulers.base import AMConfig, ApplicationMaster
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.trace import JobTrace
+from repro.yarn.resource_manager import ResourceManager
+
+
+class NamespacedStreams:
+    """A per-job view of a RandomStreams family.
+
+    Stream names are prefixed with the job id, so two jobs asking for
+    ``"overhead"`` advance independent generators and job count/order never
+    perturbs another job's draws.
+    """
+
+    def __init__(self, base: RandomStreams, prefix: str) -> None:
+        self._base = base
+        self._prefix = prefix
+        self.seed = base.seed
+
+    def stream(self, name: str):
+        """The job-prefixed persistent stream for ``name``."""
+        return self._base.stream(f"{self._prefix}/{name}")
+
+    def fresh(self, name: str):
+        """A job-prefixed fresh (unshared) generator for ``name``."""
+        return self._base.fresh(f"{self._prefix}/{name}")
+
+
+class SharedSpeedMonitor:
+    """One SpeedMonitor shared by many AMs.
+
+    AMs number heartbeat rounds from their own submission, so the base
+    monitor's per-node "strictly newer round" staleness check would drop
+    every report from a later-arriving job.  This wrapper renumbers each
+    ``report_round`` call into one global, monotonically increasing
+    sequence; everything else delegates to the base monitor.
+    """
+
+    def __init__(self, base: SpeedMonitor | None = None) -> None:
+        self._base = base if base is not None else SpeedMonitor()
+        self._round_seq = 0
+
+    # FlexMapAM pokes obs/clock on the monitor it is handed; forward both.
+    @property
+    def obs(self):
+        return self._base.obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._base.obs = value
+
+    @property
+    def clock(self):
+        return self._base.clock
+
+    @clock.setter
+    def clock(self, value) -> None:
+        self._base.clock = value
+
+    @property
+    def base(self) -> SpeedMonitor:
+        return self._base
+
+    def new_epoch(self) -> None:
+        """No-op: the global sequence never restarts, so a newly submitted
+        AM's reports are always fresh."""
+
+    def report_round(self, round_no: int, node_ips: dict[str, list[float]]) -> int:
+        """Forward a heartbeat report under the next global round number."""
+        self._round_seq += 1
+        return self._base.report_round(self._round_seq, node_ips)
+
+    def __getattr__(self, name: str):
+        return getattr(self._base, name)
+
+
+@dataclass
+class JobOutcome:
+    """One finished job's service-level record."""
+
+    job_id: str
+    benchmark: str
+    engine: str
+    queue: str
+    weight: float
+    input_mb: float
+    submit_time: float
+    finish_time: float
+    jct: float
+    trace: JobTrace
+    slowdown: float | None = None  # vs. isolated run; filled by the SLO pass
+
+
+@dataclass
+class _RunningJob:
+    request: JobRequest
+    job: JobSpec
+    am: ApplicationMaster
+    job_id: str
+    engine_name: str
+
+
+@dataclass
+class ServiceResult:
+    """Everything a service run produced."""
+
+    cluster_name: str
+    policy: str
+    seed: int
+    outcomes: list[JobOutcome]
+    utilization: list[tuple[float, float]]  # (sim time, busy-slot fraction)
+    events_processed: int
+    report: SLOReport | None = None
+
+
+class ClusterService:
+    """Drives an arrival stream of jobs over one shared simulated cluster."""
+
+    def __init__(
+        self,
+        cluster_factory: Callable[[], object],
+        arrivals: ArrivalProcess,
+        policy: str | ClusterSchedulerPolicy = "fair",
+        seed: int = 0,
+        replication: int = 3,
+        queues: dict[str, float] | None = None,
+        utilization_period_s: float = 5.0,
+        obs: Observability | None = None,
+    ) -> None:
+        if utilization_period_s <= 0:
+            raise ValueError(f"non-positive sampling period: {utilization_period_s}")
+        self.seed = seed
+        self.obs = obs
+        self.arrivals = arrivals
+        self.cluster_factory = cluster_factory
+        self.replication = replication
+        self.utilization_period_s = utilization_period_s
+
+        self.sim = Simulator(obs=obs)
+        self.streams = RandomStreams(seed)
+        self.cluster = cluster_factory()
+        self.cluster.install(self.sim, self.streams)
+        self.policy = (
+            make_policy(policy, queues)
+            if isinstance(policy, str)
+            else policy
+        )
+        self.rm = ResourceManager(
+            self.sim,
+            self.cluster,
+            rng=self.streams.stream("rm-offers"),
+            scheduler=self.policy,
+        )
+        self.namenode = NameNode(
+            [n.node_id for n in self.cluster.nodes],
+            replication=replication,
+            policy=RandomPlacement(),
+            rng=self.streams.stream("placement"),
+        )
+        self.monitor = SharedSpeedMonitor(
+            SpeedMonitor(window=5, obs=obs, clock=lambda: self.sim.now)
+        )
+
+        self.outcomes: list[JobOutcome] = []
+        self.utilization: list[tuple[float, float]] = []
+        self._running: list[_RunningJob] = []
+        self._job_seq = 0
+        self._expected = arrivals.total_jobs
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def _schedule_request(self, request: JobRequest) -> None:
+        submit_at = max(request.submit_time, self.sim.now)
+        self.sim.schedule_at(submit_at, lambda: self._submit(request))
+
+    def _submit(self, request: JobRequest) -> None:
+        job_id = f"j{self._job_seq:03d}"
+        self._job_seq += 1
+        spec = ENGINES[request.engine] if isinstance(request.engine, str) else request.engine
+        base_job = request.workload.job(input_mb=request.input_mb, small=True)
+        # Unique per-submission identity: two WC jobs must not collide on
+        # the NameNode namespace or in the shared trace stream.
+        job = dataclasses.replace(
+            base_job,
+            name=f"{job_id}-{base_job.name}",
+            input_file=f"{job_id}-{base_job.input_file}",
+        )
+        streams = NamespacedStreams(self.streams, job_id)
+        num_blocks = int(math.ceil(job.input_mb / spec.block_size_mb))
+        factors = request.workload.cost_factors(num_blocks, streams.stream("skew"))
+        self.namenode.create_file(
+            job.input_file, job.input_mb, spec.block_size_mb, cost_factors=factors
+        )
+        config = AMConfig(block_size_mb=spec.block_size_mb, obs=self.obs)
+        # FlexMap engines share the service-wide SpeedMonitor; fixed-size
+        # engines have no sizing state to share.
+        extra: dict = {}
+        if isinstance(spec.factory, type) and issubclass(spec.factory, FlexMapAM):
+            extra["monitor"] = self.monitor
+        am = spec.build(
+            self.sim, self.cluster, self.rm, self.namenode, job, streams, config,
+            extra=extra,
+        )
+        # Register before submit() so queue/weight stick (submit()'s own
+        # register call is an idempotent no-op).
+        self.rm.register(am, queue=request.queue, weight=request.weight)
+        if self.obs is not None:
+            self.obs.metrics.counter("service.jobs_submitted").inc()
+            self.obs.trace.emit(
+                "job_submit", self.sim.now,
+                job=job.name, engine=spec.name, queue=request.queue,
+                input_mb=round(job.input_mb, 3),
+            )
+        self._running.append(_RunningJob(request, job, am, job_id, spec.name))
+        am.submit()
+
+    # ------------------------------------------------------------------
+    # completion + sampling
+    # ------------------------------------------------------------------
+    def _collect_finished(self) -> None:
+        for entry in list(self._running):
+            if not entry.am.job_done:
+                continue
+            self._running.remove(entry)
+            outcome = JobOutcome(
+                job_id=entry.job_id,
+                benchmark=entry.request.workload.abbrev,
+                engine=entry.engine_name,
+                queue=entry.request.queue,
+                weight=entry.request.weight,
+                input_mb=entry.job.input_mb,
+                submit_time=entry.am.trace.submit_time,
+                finish_time=entry.am.trace.finish_time,
+                jct=entry.am.trace.jct,
+                trace=entry.am.trace,
+            )
+            self.outcomes.append(outcome)
+            if self.obs is not None:
+                self.obs.metrics.counter("service.jobs_completed").inc()
+                self.obs.metrics.histogram("service.jct").observe(outcome.jct)
+            nxt = self.arrivals.next_on_completion(len(self.outcomes), self.sim.now)
+            if nxt is not None:
+                self._schedule_request(nxt)
+
+    def _sample_utilization(self) -> None:
+        busy = sum(n.busy_slots for n in self.cluster.nodes)
+        frac = busy / self.cluster.total_slots
+        self.utilization.append((self.sim.now, frac))
+        if self.obs is not None:
+            self.obs.metrics.gauge("service.busy_slot_frac").set(frac)
+        if len(self.outcomes) < self._expected:
+            self.sim.schedule(self.utilization_period_s, self._sample_utilization)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_events: int | None = None,
+        compute_slowdown: bool = True,
+    ) -> ServiceResult:
+        """Submit the arrival stream and drive the cluster to completion.
+
+        ``compute_slowdown`` additionally runs each distinct
+        (benchmark, engine, input size) combination alone on a fresh
+        identical cluster to compute per-job slowdowns, then attaches the
+        full :class:`~repro.multijob.slo.SLOReport`.
+        """
+        if self.obs is not None:
+            self.obs.trace.emit(
+                "service_meta", self.sim.now,
+                cluster=self.cluster.name, policy=self.policy.name,
+                seed=self.seed, jobs=self._expected,
+            )
+        for request in self.arrivals.initial():
+            self._schedule_request(request)
+        self._sample_utilization()
+        guard = max_events if max_events is not None else 500_000_000
+        while len(self.outcomes) < self._expected:
+            if not self.sim.step():
+                raise RuntimeError(
+                    f"service stalled: {len(self.outcomes)}/{self._expected} "
+                    f"jobs done, simulator idle at t={self.sim.now:.1f}"
+                )
+            guard -= 1
+            if guard <= 0:
+                raise RuntimeError("service exceeded event budget")
+            if self._running:
+                self._collect_finished()
+        if self.obs is not None:
+            self.sim.record_obs()
+            self.obs.trace.emit(
+                "service_end", self.sim.now,
+                jobs=len(self.outcomes),
+                events=self.sim.events_processed,
+            )
+        if compute_slowdown:
+            baselines = compute_isolated_baselines(
+                self.cluster_factory,
+                self.outcomes,
+                seed=self.seed,
+                replication=self.replication,
+            )
+            for outcome in self.outcomes:
+                key = (outcome.benchmark, outcome.engine, round(outcome.input_mb, 6))
+                isolated = baselines[key]
+                outcome.slowdown = outcome.jct / isolated if isolated > 0 else float("inf")
+        report = compute_slo(
+            self.outcomes,
+            self.utilization,
+            cluster_name=self.cluster.name,
+            policy=self.policy.name,
+        )
+        return ServiceResult(
+            cluster_name=self.cluster.name,
+            policy=self.policy.name,
+            seed=self.seed,
+            outcomes=self.outcomes,
+            utilization=self.utilization,
+            events_processed=self.sim.events_processed,
+            report=report,
+        )
+
+
+def compute_isolated_baselines(
+    cluster_factory: Callable[[], object],
+    outcomes: list[JobOutcome],
+    seed: int,
+    replication: int = 3,
+) -> dict[tuple[str, str, float], float]:
+    """Isolated-run JCT per distinct (benchmark, engine, input size).
+
+    Each combination runs alone on a fresh cluster from the same factory
+    under the same seed — the denominator of the per-job slowdown metric.
+    """
+    from repro.workloads.puma import puma  # local: avoid cycle at import time
+
+    baselines: dict[tuple[str, str, float], float] = {}
+    for outcome in outcomes:
+        key = (outcome.benchmark, outcome.engine, round(outcome.input_mb, 6))
+        if key in baselines:
+            continue
+        result = run_job(
+            cluster_factory,
+            puma(outcome.benchmark),
+            outcome.engine,
+            seed=seed,
+            input_mb=outcome.input_mb,
+            replication=replication,
+        )
+        baselines[key] = result.jct
+    return baselines

@@ -440,6 +440,7 @@ class ApplicationMaster:
         self.job_done = True
         self.trace.finish_time = self.sim.now
         self.heartbeat.stop()
+        self.rm.unregister(self)
         if self.obs is not None:
             self.sim.record_obs()
             self.obs.trace.emit(

@@ -28,19 +28,29 @@ class EventHandle:
 
     Cancellation is lazy: the entry stays in the heap and is skipped when
     popped.  This keeps :meth:`Simulator.schedule` and :meth:`cancel` O(log n)
-    and O(1) respectively.
+    and O(1) amortized respectively.  The owning simulator counts cancelled
+    entries and compacts the heap once they are the majority, so long runs
+    that cancel many events (rate changes re-scheduling task finishes,
+    multi-job services stopping heartbeats) stay bounded in memory.
     """
 
-    __slots__ = ("callback", "cancelled", "time")
+    __slots__ = ("callback", "cancelled", "time", "_sim")
 
-    def __init__(self, time: float, callback: Callable[[], Any]) -> None:
+    def __init__(
+        self, time: float, callback: Callable[[], Any], sim: "Simulator | None" = None
+    ) -> None:
         self.time = time
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -59,6 +69,8 @@ class Simulator:
         self._heap: list[_Entry] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        self._cancelled_in_heap: int = 0
+        self._compactions: int = 0
         # Observability is sampled (record_obs), never per-event: step() has
         # no instrumentation branch, so a disabled run costs nothing extra.
         self._obs = obs
@@ -76,7 +88,7 @@ class Simulator:
         """Schedule ``callback`` to fire at absolute simulation ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        handle = EventHandle(time, callback)
+        handle = EventHandle(time, callback, sim=self)
         heapq.heappush(self._heap, _Entry(time, self._seq, handle))
         self._seq += 1
         return handle
@@ -86,6 +98,32 @@ class Simulator:
         handle.cancel()
 
     # ------------------------------------------------------------------
+    # lazy-cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """A handle in our heap was cancelled; compact once they dominate.
+
+        Compaction rebuilds the heap from live entries — O(n), amortized
+        O(1) per cancellation since it halves the heap at most every n/2
+        cancels.  Entries keep their (time, seq) keys, so event order is
+        untouched.
+        """
+        self._cancelled_in_heap += 1
+        if self._cancelled_in_heap * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [e for e in self._heap if not e.handle.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed (observability/tests)."""
+        return self._compactions
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
@@ -93,6 +131,7 @@ class Simulator:
         while self._heap:
             entry = heapq.heappop(self._heap)
             if entry.handle.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self.now = entry.time
             self._events_processed += 1
@@ -133,6 +172,7 @@ class Simulator:
         """Time of the next non-cancelled event, or None if idle."""
         while self._heap and self._heap[0].handle.cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_in_heap -= 1
         return self._heap[0].time if self._heap else None
 
     @property

@@ -15,11 +15,15 @@ class Container:
 
     _next_id = 0
 
-    def __init__(self, node: Node) -> None:
+    def __init__(self, node: Node, am=None) -> None:
         self.node = node
         self.container_id = Container._next_id
         Container._next_id += 1
         self.released = False
+        # The ApplicationMaster the offer was addressed to; the RM charges
+        # this app's slot accounting on occupy/release.  None for containers
+        # constructed outside an RM offer round (tests, ad-hoc drivers).
+        self.am = am
 
     @property
     def node_id(self) -> str:

@@ -81,3 +81,73 @@ def test_unknown_figure_rejected():
 def test_unknown_cluster_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--cluster", "nope", "--input-gb", "1"])
+
+
+# ---------------------------------------------------------------------------
+# repro serve / extended list
+# ---------------------------------------------------------------------------
+def test_list_shows_policies_and_workloads(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fair" in out and "capacity" in out and "fifo" in out
+    assert "WC=" in out and "poisson" in out
+
+
+def test_serve_poisson_small(capsys, tmp_path):
+    report_file = tmp_path / "slo.json"
+    bench_file = tmp_path / "bench.json"
+    rc = main([
+        "serve", "--cluster", "heterogeneous6", "--arrivals", "poisson",
+        "--rate", "0.05", "--n-jobs", "4", "--policy", "fair",
+        "--seed", "1", "--scale", "0.125", "--no-slowdown",
+        "--report-out", str(report_file), "--bench-out", str(bench_file),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cluster service report" in out
+    assert "makespan" in out
+
+    import json
+
+    report = json.loads(report_file.read_text())
+    assert report["n_jobs"] == 4
+    assert report["policy"] == "fair"
+    bench = json.loads(bench_file.read_text())
+    assert bench["events"] > 0
+    assert bench["events_per_sec"] > 0
+    assert bench["scenario"]["cluster"] == "heterogeneous6"
+
+
+def test_serve_same_seed_same_report(capsys):
+    argv = ["serve", "--cluster", "heterogeneous6", "--arrivals", "closed",
+            "--n-jobs", "3", "--width", "2", "--policy", "fifo",
+            "--seed", "7", "--scale", "0.125", "--no-slowdown"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_serve_trace_arrivals(capsys, tmp_path):
+    trace = tmp_path / "arrivals.jsonl"
+    trace.write_text(
+        '{"t": 0.0, "benchmark": "WC", "engine": "flexmap", "input_mb": 256}\n'
+        '{"t": 5.0, "benchmark": "GR", "engine": "hadoop-64", "input_mb": 256,'
+        ' "queue": "batch"}\n'
+    )
+    rc = main(["serve", "--cluster", "heterogeneous6", "--arrivals", "trace",
+               "--trace-file", str(trace), "--policy", "capacity",
+               "--queues", "default=3,batch=1", "--no-slowdown"])
+    assert rc == 0
+    assert "jobs=2" in capsys.readouterr().out
+
+
+def test_serve_trace_arrivals_requires_file():
+    with pytest.raises(SystemExit):
+        main(["serve", "--arrivals", "trace"])
+
+
+def test_serve_rejects_bad_queues():
+    with pytest.raises(SystemExit):
+        main(["serve", "--queues", "no-equals-sign", "--n-jobs", "1"])

@@ -143,3 +143,37 @@ def test_fig2_static_binding_underuses_fast_node():
     # Capacity share of the fast node is 3/5 = 0.6; static binding with only
     # 4 coarse tasks cannot reach it.
     assert fast_share <= 0.55
+
+
+# ---------------------------------------------------------------------------
+# parallel seed sweeps
+# ---------------------------------------------------------------------------
+def test_seed_sweep_parallel_matches_serial():
+    """jobs>1 fans seeds over processes; statistics must be bit-identical
+    to the serial path (results merged back in seed order)."""
+    import functools
+
+    from repro.experiments.stats import seed_sweep
+    from tests.conftest import make_cluster
+
+    factory = functools.partial(make_cluster, (1.0, 2.0))
+    job = tiny_job(input_mb=256.0)
+    serial = seed_sweep(factory, job, "hadoop-64", seeds=[1, 2, 3], jobs=1)
+    par = seed_sweep(factory, job, "hadoop-64", seeds=[1, 2, 3], jobs=3)
+    assert [r.jct for r in par.runs] == [r.jct for r in serial.runs]
+    assert [r.seed for r in par.runs] == [1, 2, 3]
+    assert par.jct == serial.jct
+    assert par.efficiency == serial.efficiency
+    # Workers strip the unpicklable AM handle; serial keeps it.
+    assert all(r.am is None for r in par.runs)
+    assert all(r.am is not None for r in serial.runs)
+
+
+def test_seed_sweep_rejects_bad_jobs():
+    from repro.experiments.stats import seed_sweep
+    from tests.conftest import make_cluster
+
+    with pytest.raises(ValueError):
+        seed_sweep(make_cluster, tiny_job(), "hadoop-64", seeds=[1], jobs=0)
+    with pytest.raises(ValueError):
+        seed_sweep(make_cluster, tiny_job(), "hadoop-64", seeds=[])

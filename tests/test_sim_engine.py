@@ -197,3 +197,76 @@ def test_determinism_two_identical_runs():
         return log
 
     assert build() == build()
+
+
+# ---------------------------------------------------------------------------
+# lazy-cancellation heap compaction
+# ---------------------------------------------------------------------------
+def test_heap_compacts_when_cancelled_dominate():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(1000)]
+    assert sim.heap_depth == 1000
+    for h in handles[:600]:
+        h.cancel()
+    # Cancelled entries became the majority, so the heap must have been
+    # rebuilt from live entries instead of holding 600 dead ones.
+    assert sim.compactions >= 1
+    assert sim.heap_depth < 600
+    assert sim.pending == 400
+
+
+def test_compaction_preserves_event_order():
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(float(i), (lambda i=i: fired.append(i))) for i in range(100)
+    ]
+    for h in handles[::2]:  # cancel the even-indexed majority... exactly half
+        h.cancel()
+    for h in handles[1:51:2]:  # push cancellations over the 1/2 threshold
+        h.cancel()
+    assert sim.compactions >= 1
+    sim.run()
+    assert fired == sorted(fired)
+    assert fired == [i for i in range(51, 100, 2)]
+
+
+def test_cancel_is_idempotent_in_compaction_count():
+    sim = Simulator()
+    keep = sim.schedule(10.0, lambda: None)
+    h = sim.schedule(1.0, lambda: None)
+    h.cancel()
+    h.cancel()  # double cancel must not double-count toward the threshold
+    h.cancel()
+    assert sim.pending == 1
+    sim.run()
+    assert sim.events_processed == 1
+    assert keep.cancelled is False
+
+
+def test_popping_cancelled_entries_does_not_trigger_spurious_compaction():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for h in handles[:4]:  # below the majority threshold: no compaction
+        h.cancel()
+    assert sim.compactions == 0
+    sim.run()  # pops the 4 cancelled entries, decrementing the counter
+    assert sim.compactions == 0
+    assert sim.events_processed == 6
+
+
+def test_long_cancel_heavy_run_stays_bounded():
+    """Regression: a workload that perpetually reschedules (cancel + new
+    event) must not grow the heap linearly with total cancellations."""
+    sim = Simulator()
+    pending = [sim.schedule(1.0, lambda: None)]
+
+    def churn(i):
+        pending[0].cancel()
+        pending[0] = sim.schedule(2.0, lambda: None)
+
+    for i in range(5000):
+        sim.schedule(float(i) * 1e-3, lambda i=i: churn(i))
+    sim.run()
+    assert sim.compactions > 0
+    assert sim.heap_depth <= 10  # not O(5000)

@@ -222,3 +222,166 @@ def test_heartbeat_start_idempotent():
 def test_heartbeat_validation():
     with pytest.raises(ValueError):
         HeartbeatService(Simulator(), period_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# multi-application RM: registration, per-app accounting, cluster policies
+# ---------------------------------------------------------------------------
+class CountingAM:
+    """Accepts up to ``budget`` containers and holds them forever."""
+
+    def __init__(self, rm, budget):
+        self.rm = rm
+        self.budget = budget
+        self.held = []
+        self.job_done = False
+
+    def on_container(self, container):
+        if len(self.held) >= self.budget:
+            return False
+        self.held.append(container)
+        self.rm.occupy(container)
+        return True
+
+
+def test_rm_register_is_idempotent():
+    sim = Simulator()
+    rm = ResourceManager(sim, make_cluster())
+    am = AcceptingAM(rm, budget=0)
+    rm.register(am, queue="batch", weight=3.0)
+    rm.register(am)  # second call must not reset queue/weight or duplicate
+    assert len(rm.apps) == 1
+    record = rm.app_record(am)
+    assert record.queue == "batch"
+    assert record.weight == 3.0
+
+
+def test_rm_unregister_removes_app():
+    sim = Simulator()
+    rm = ResourceManager(sim, make_cluster())
+    a, b = AcceptingAM(rm, budget=0), AcceptingAM(rm, budget=0)
+    rm.register(a)
+    rm.register(b)
+    rm.unregister(a)
+    rm.unregister(a)  # idempotent
+    assert [r.am for r in rm.apps] == [b]
+    assert rm.am is b
+
+
+def test_rm_per_app_slot_accounting():
+    sim = Simulator()
+    cluster = make_cluster(speeds=(1.0, 1.0), slots=2)  # 4 slots
+    rm = ResourceManager(sim, cluster)
+    a = CountingAM(rm, budget=3)
+    b = CountingAM(rm, budget=99)
+    rm.register(a)
+    rm.register(b)
+    rm.start()
+    sim.run()
+    assert rm.used_slots(a) == 3
+    assert rm.used_slots(b) == 1
+    rm.release(a.held[0])
+    assert rm.used_slots(a) == 2
+
+
+def test_rm_double_release_does_not_corrupt_app_accounting():
+    sim = Simulator()
+    cluster = make_cluster(speeds=(1.0,), slots=2)
+    rm = ResourceManager(sim, cluster)
+    am = CountingAM(rm, budget=2)
+    rm.register(am)
+    rm.start()
+    sim.run()
+    assert rm.used_slots(am) == 2
+    c = am.held[0]
+    rm.release(c)
+    rm.release(c)  # must not double-decrement the app's held-slot count
+    assert rm.used_slots(am) == 1
+    assert cluster.nodes[0].busy_slots == 1
+
+
+def test_rm_num_active_apps_counts_live_ams():
+    sim = Simulator()
+    rm = ResourceManager(sim, make_cluster())
+    assert rm.num_active_apps == 1  # floor: never divides by zero
+    a, b = CountingAM(rm, budget=0), CountingAM(rm, budget=0)
+    rm.register(a)
+    rm.register(b)
+    assert rm.num_active_apps == 2
+    a.job_done = True
+    assert rm.num_active_apps == 1
+
+
+def test_fair_policy_routes_offers_to_underserved_am():
+    from repro.multijob.policies import FairPolicy
+
+    sim = Simulator()
+    cluster = make_cluster(speeds=(1.0, 1.0, 1.0), slots=2)  # 6 slots
+    rm = ResourceManager(sim, cluster, scheduler=FairPolicy())
+    a = CountingAM(rm, budget=99)
+    b = CountingAM(rm, budget=99)
+    rm.register(a)
+    rm.register(b)
+    rm.start()
+    sim.run()
+    # Equal weights: the 6 slots split 3/3 instead of FIFO's 6/0.
+    assert rm.used_slots(a) == 3
+    assert rm.used_slots(b) == 3
+
+
+def test_fair_policy_respects_weights():
+    from repro.multijob.policies import FairPolicy
+
+    sim = Simulator()
+    cluster = make_cluster(speeds=(1.0,) * 3, slots=2)  # 6 slots
+    rm = ResourceManager(sim, cluster, scheduler=FairPolicy())
+    a = CountingAM(rm, budget=99)
+    b = CountingAM(rm, budget=99)
+    rm.register(a, weight=2.0)
+    rm.register(b, weight=1.0)
+    rm.start()
+    sim.run()
+    assert rm.used_slots(a) == 4
+    assert rm.used_slots(b) == 2
+
+
+def test_fifo_policy_starves_later_apps():
+    from repro.multijob.policies import FifoPolicy
+
+    sim = Simulator()
+    cluster = make_cluster(speeds=(1.0,) * 2, slots=2)  # 4 slots
+    rm = ResourceManager(sim, cluster, scheduler=FifoPolicy())
+    a = CountingAM(rm, budget=99)
+    b = CountingAM(rm, budget=99)
+    rm.register(a)
+    rm.register(b)
+    rm.start()
+    sim.run()
+    assert rm.used_slots(a) == 4
+    assert rm.used_slots(b) == 0
+
+
+def test_multi_am_offer_order_deterministic_under_seeded_shuffle():
+    from repro.multijob.policies import FairPolicy
+
+    def grant_log(seed):
+        sim = Simulator()
+        cluster = make_cluster(speeds=(1.0,) * 5, slots=2)
+        rm = ResourceManager(
+            sim, cluster,
+            rng=RandomStreams(seed).stream("rm-offers"),
+            scheduler=FairPolicy(),
+        )
+        ams = {name: CountingAM(rm, budget=99) for name in "ab"}
+        for am in ams.values():
+            rm.register(am)
+        rm.start()
+        sim.run()
+        return [
+            (name, c.node_id)
+            for name, am in ams.items()
+            for c in am.held
+        ]
+
+    assert grant_log(11) == grant_log(11)  # same seed => identical grant order
+    assert grant_log(11) != grant_log(12)
