@@ -258,6 +258,63 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Fuzz the simulation stack with runtime invariants armed."""
+    from repro.check.fuzz import fuzz_run
+    from repro.check.harness import ScenarioConfig, run_scenario
+
+    if args.replay:
+        with open(args.replay, encoding="utf-8") as fh:
+            config = ScenarioConfig.from_json(fh.read())
+        print(f"replaying reproducer: {config.describe()}")
+        result = run_scenario(config, strict=True, max_events=args.max_events)
+        print(f"replay clean: {result.report.summary()}")
+        return 0
+
+    result = fuzz_run(
+        iterations=args.iterations,
+        seed=args.seed,
+        max_events=args.max_events,
+        shrink_failures=not args.no_shrink,
+        log=print if args.verbose else None,
+    )
+    if result.ok:
+        print(
+            f"fuzz ok: {result.passed}/{result.iterations} scenarios clean "
+            f"(seed {result.seed})"
+        )
+        return 0
+    failure = result.failure
+    print(
+        f"fuzz FAILED after {result.passed} clean scenario(s): "
+        f"[{failure.kind}/{failure.rule}] {failure.message}",
+        file=sys.stderr,
+    )
+    shrunk = result.shrunk_config or result.failing_config
+    print(f"minimal reproducer ({result.shrink_steps} shrink probes):",
+          file=sys.stderr)
+    print(shrunk.to_json(), file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(shrunk.to_json() + "\n")
+        print(f"reproducer written to {args.out}", file=sys.stderr)
+    return 1
+
+
+def cmd_diff(args) -> int:
+    """Run the cross-engine differential (metamorphic) checks."""
+    from repro.check.differential import run_differentials
+    from repro.check.harness import ScenarioConfig
+
+    config = ScenarioConfig(seed=args.seed, engine=args.engine)
+    reports = run_differentials(config)
+    failed = [r for r in reports if not r.ok]
+    for report in reports:
+        status = "ok  " if report.ok else "FAIL"
+        print(f"{status} {report.name}: {report.detail}")
+    return 1 if failed else 0
+
+
 def cmd_figure(args) -> int:
     """Regenerate one paper figure at the chosen scale."""
     name = args.name
@@ -388,6 +445,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--trace-out", default=None, metavar="FILE",
                        help="write the service's typed JSONL trace to FILE")
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="fuzz the simulator with runtime invariants armed"
+    )
+    p_fuzz.add_argument("--iterations", type=int, default=25,
+                        help="number of sampled scenarios to run")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="sampler seed (same seed = same scenarios)")
+    p_fuzz.add_argument("--max-events", type=int, default=5_000_000,
+                        help="per-scenario simulated event budget")
+    p_fuzz.add_argument("--out", default=None, metavar="FILE",
+                        help="write the shrunk JSON reproducer to FILE on failure")
+    p_fuzz.add_argument("--replay", default=None, metavar="FILE",
+                        help="replay a reproducer JSON instead of fuzzing")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report the raw failing config without shrinking")
+    p_fuzz.add_argument("--verbose", action="store_true",
+                        help="print a line per scenario")
+
+    p_diff = sub.add_parser(
+        "diff", help="run cross-engine differential (metamorphic) checks"
+    )
+    p_diff.add_argument("--engine", default="flexmap", choices=sorted(ENGINES))
+    p_diff.add_argument("--seed", type=int, default=0)
+
     p_trace = sub.add_parser("trace", help="inspect a recorded JSONL trace")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
     p_sum = trace_sub.add_parser(
@@ -404,7 +485,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
-                "figure": cmd_figure, "trace": cmd_trace, "serve": cmd_serve}
+                "figure": cmd_figure, "trace": cmd_trace, "serve": cmd_serve,
+                "fuzz": cmd_fuzz, "diff": cmd_diff}
     return handlers[args.command](args)
 
 

@@ -9,7 +9,14 @@ replication keeps the data reachable — blocks whose local replicas died are
 simply read remotely.
 
 Failures compose with every engine: the ApplicationMaster exposes
-``on_node_failure`` and each engine re-enqueues its own bookkeeping.
+``on_node_failure`` and each engine re-enqueues its own bookkeeping.  Two
+edge cases are pinned down by ``tests/test_failures.py``:
+
+* a node may fail *twice* (duplicate schedule entries, or one schedule per
+  job in a service run) — the second crash finds no running attempts and
+  must not re-enqueue anything;
+* a node may fail *after* the job completed — the AM ignores the event
+  beyond marking the node dead (see ``ApplicationMaster.on_node_failure``).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.schedulers.base import ApplicationMaster
+    from repro.yarn.resource_manager import ResourceManager
 
 
 @dataclass(frozen=True)
@@ -37,7 +45,11 @@ class NodeFailure:
 
 
 class FailureSchedule:
-    """Deterministic list of node crashes to inject into a run."""
+    """Deterministic list of node crashes to inject into a run.
+
+    Duplicate ``(time, node)`` entries are kept — they exercise the
+    double-failure path the AMs must tolerate.
+    """
 
     def __init__(self, failures: list[NodeFailure]) -> None:
         self.failures = sorted(failures, key=lambda f: (f.time_s, f.node_id))
@@ -46,13 +58,39 @@ class FailureSchedule:
     def single(cls, time_s: float, node_id: str) -> "FailureSchedule":
         return cls([NodeFailure(time_s, node_id)])
 
-    def install(self, sim: Simulator, cluster: Cluster, am: "ApplicationMaster") -> None:
-        """Arm the crash events against a submitted job's AM."""
+    def _validate(self, cluster: Cluster) -> None:
         ids = {n.node_id for n in cluster.nodes}
         for failure in self.failures:
             if failure.node_id not in ids:
                 raise KeyError(f"unknown node: {failure.node_id}")
+
+    def install(self, sim: Simulator, cluster: Cluster, am: "ApplicationMaster") -> None:
+        """Arm the crash events against a submitted job's AM."""
+        self._validate(cluster)
+        for failure in self.failures:
             sim.schedule_at(
                 failure.time_s,
                 lambda f=failure: am.on_node_failure(cluster.node(f.node_id)),
             )
+
+    def install_service(
+        self, sim: Simulator, cluster: Cluster, rm: "ResourceManager"
+    ) -> None:
+        """Arm crashes against a shared cluster hosting many AMs.
+
+        Each crash marks the node dead and notifies every AM registered at
+        crash time (finished AMs have unregistered; each AM only touches its
+        own attempts, so the fan-out cannot double re-enqueue work).  AMs
+        submitted after the crash never see the node: the RM skips dead
+        nodes in its offer rounds.
+        """
+        self._validate(cluster)
+
+        def fire(failure: NodeFailure) -> None:
+            node = cluster.node(failure.node_id)
+            node.fail()
+            for record in list(rm.apps):
+                record.am.on_node_failure(node)
+
+        for failure in self.failures:
+            sim.schedule_at(failure.time_s, lambda f=failure: fire(f))

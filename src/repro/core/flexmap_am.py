@@ -163,6 +163,12 @@ class FlexMapAM(ApplicationMaster):
         assert self.binder is not None
         self.binder.put_back(assignment.split)
         self.speculation.speculated_tasks.discard(assignment.task_id)
+        if self.obs is not None:
+            self.obs.metrics.counter("am.maps_requeued").inc()
+            self.obs.trace.emit(
+                "map_requeue", self.sim.now,
+                task=assignment.task_id, n_bus=assignment.split.num_bus,
+            )
 
     def on_map_complete(self, attempt: TaskAttempt, assignment: MapAssignment) -> None:
         self.speculation.on_map_complete(attempt, assignment)

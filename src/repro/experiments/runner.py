@@ -116,6 +116,7 @@ def run_job(
     max_events: int | None = None,
     failures: "FailureSchedule | None" = None,
     obs: Observability | None = None,
+    check=None,
 ) -> RunResult:
     """Simulate one job end-to-end and return its trace + metrics.
 
@@ -123,7 +124,9 @@ def run_job(
     :mod:`repro.cluster.failures`); the engine re-enqueues lost work.
     ``obs`` threads a structured tracing/metrics bundle through the
     simulator and the AM; the per-run metric snapshot lands in
-    :attr:`RunResult.metrics`.
+    :attr:`RunResult.metrics`.  ``check`` arms a
+    :class:`repro.check.InvariantChecker` on the run (the caller
+    finalizes it); like ``obs``, a run without one pays nothing.
     """
     spec = ENGINES[engine] if isinstance(engine, str) else engine
     sim = Simulator(obs=obs)
@@ -152,6 +155,8 @@ def run_job(
     )
 
     rm = ResourceManager(sim, cluster, rng=streams.stream("rm-offers"))
+    if check is not None:
+        check.arm(sim, cluster=cluster, rm=rm)
     config = am_config or AMConfig(block_size_mb=spec.block_size_mb)
     if obs is not None and config.obs is None:
         config = dataclasses.replace(config, obs=obs)

@@ -166,6 +166,8 @@ class ClusterService:
         queues: dict[str, float] | None = None,
         utilization_period_s: float = 5.0,
         obs: Observability | None = None,
+        failures=None,
+        check=None,
     ) -> None:
         if utilization_period_s <= 0:
             raise ValueError(f"non-positive sampling period: {utilization_period_s}")
@@ -200,12 +202,47 @@ class ClusterService:
         self.monitor = SharedSpeedMonitor(
             SpeedMonitor(window=5, obs=obs, clock=lambda: self.sim.now)
         )
+        # Correctness hooks (see repro.check): both are off by default and
+        # cost nothing when absent, like ``obs``.  The checker attaches to
+        # each AM as it registers; the failure schedule fans each crash out
+        # to every AM registered at crash time.
+        if check is not None:
+            check.arm(self.sim, cluster=self.cluster, rm=self.rm)
+        self.failures = failures
+        if failures is not None:
+            failures.install_service(self.sim, self.cluster, self.rm)
 
         self.outcomes: list[JobOutcome] = []
         self.utilization: list[tuple[float, float]] = []
         self._running: list[_RunningJob] = []
         self._job_seq = 0
         self._expected = arrivals.total_jobs
+
+    # ------------------------------------------------------------------
+    # progress accounting (jobs_submitted == jobs_completed + jobs_running,
+    # jobs_expected == jobs_submitted + jobs_pending — the balance the
+    # composed failure tests assert)
+    # ------------------------------------------------------------------
+    @property
+    def jobs_expected(self) -> int:
+        return self._expected
+
+    @property
+    def jobs_submitted(self) -> int:
+        return self._job_seq
+
+    @property
+    def jobs_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def jobs_completed(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def jobs_pending(self) -> int:
+        """Arrivals not yet submitted to the cluster."""
+        return self._expected - self._job_seq
 
     # ------------------------------------------------------------------
     # submission

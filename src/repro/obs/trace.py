@@ -24,6 +24,8 @@ plus event-specific fields.  The instrumented stack emits:
                     round, sample, smoothed
 ``remote_fallback`` stock Hadoop delay-scheduling gave up: node, waited_s
 ``mitigate``        SkewTune repartition: task, node, remaining_mb, chunks
+``node_failure``    node crashed: node, running_maps, running_reduces
+``map_requeue``     lost input re-enqueued: task, n_bus
 ``job_end``         jct, maps, reduces
 ==================  =========================================================
 

@@ -257,12 +257,20 @@ class ApplicationMaster:
         )
         self.rm.release(container)
 
-    def finalize_killed_map(self, attempt: TaskAttempt, container: Container) -> None:
-        """Bookkeeping for an attempt killed with output discarded."""
+    def finalize_killed_map(
+        self, attempt: TaskAttempt, container: Container | None
+    ) -> None:
+        """Bookkeeping for an attempt killed with output discarded.
+
+        ``container`` may be None for attempts whose container record was
+        already dropped (defensive: a crash arriving mid-teardown must not
+        turn into an AttributeError).
+        """
         self.running_maps.pop(attempt, None)
         self.map_containers.pop(attempt, None)
         self.trace.add(attempt.record)
-        self.rm.release(container)
+        if container is not None:
+            self.rm.release(container)
 
     def maps_done(self) -> bool:
         """True once no map work is pending and nothing is running."""
@@ -408,11 +416,32 @@ class ApplicationMaster:
         reducers return to pending.  Intermediate map output is modelled as
         already fetched/replicated, so completed maps are not re-executed —
         a simplification noted in DESIGN.md.
+
+        Safe against the two untestable-in-production edges: a crash of an
+        already-dead node finds no running attempts (kill/requeue are
+        skipped per-attempt, so nothing is re-enqueued twice), and a crash
+        arriving after job completion only marks the node dead — the AM has
+        released every container and must not resurrect bookkeeping.
         """
         node.fail()
+        if self.job_done:
+            return
+        if self.obs is not None:
+            self.obs.trace.emit(
+                "node_failure", self.sim.now,
+                node=node.node_id,
+                running_maps=sum(
+                    1 for a in self.running_maps if a.node is node
+                ),
+                running_reduces=sum(
+                    1 for a in self.running_reduces if a.node is node
+                ),
+            )
         for attempt, assignment in list(self.running_maps.items()):
             if attempt.node is not node:
                 continue
+            if attempt.killed or attempt.finished:
+                continue  # already terminated; never requeue twice
             container = self.map_containers.get(attempt)
             attempt.kill()
             if not self._has_live_copy(attempt.task_id, other_than=attempt):

@@ -151,6 +151,24 @@ class SkewTuneAM(StockHadoopAM):
         self.rm.request_offers()
 
     # ------------------------------------------------------------------
+    def requeue_map(self, assignment: MapAssignment) -> None:
+        """Node failure: mitigator chunks are synthetic (negative block ids,
+        outside HDFS), so they return to the mitigation queue — putting them
+        into the locality index would pollute it with blocks whose only
+        "replica" is the node that just died (found by ``repro fuzz``)."""
+        if assignment.task_id.startswith("st"):
+            self.mitigation_queue.append(assignment)
+            if self.obs is not None:
+                self.obs.metrics.counter("am.maps_requeued").inc()
+                self.obs.trace.emit(
+                    "map_requeue", self.sim.now,
+                    task=assignment.task_id,
+                    n_bus=len(assignment.split.blocks),
+                )
+            self.rm.request_offers()
+            return
+        super().requeue_map(assignment)
+
     def _reduce_speculation_enabled(self) -> bool:
         """SkewTune mitigates reduce-side stragglers too; we approximate its
         repartition-the-remainder scheme with a LATE-style backup copy (a

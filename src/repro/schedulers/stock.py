@@ -96,6 +96,12 @@ class StockHadoopAM(ApplicationMaster):
             self.index.put_back(block)
         # The task id may be re-run from scratch; allow fresh speculation.
         self.speculation.speculated_tasks.discard(assignment.task_id)
+        if self.obs is not None:
+            self.obs.metrics.counter("am.maps_requeued").inc()
+            self.obs.trace.emit(
+                "map_requeue", self.sim.now,
+                task=assignment.task_id, n_bus=len(assignment.split.blocks),
+            )
 
     def on_map_complete(self, attempt: TaskAttempt, assignment: MapAssignment) -> None:
         self.speculation.on_map_complete(attempt, assignment)

@@ -190,6 +190,36 @@ class Simulator:
         return len(self._heap)
 
     # ------------------------------------------------------------------
+    # correctness hooks (zero-cost unless installed)
+    # ------------------------------------------------------------------
+    def install_step_interceptor(
+        self, hook: Callable[[], Any]
+    ) -> Callable[[], None]:
+        """Invoke ``hook`` after every processed event.
+
+        The interceptor is installed by *wrapping* :meth:`step` on this
+        instance, so a simulator that never installs one keeps the exact
+        unhooked hot loop — the same zero-cost-when-disabled contract as
+        :mod:`repro.obs`.  Used by :class:`repro.check.InvariantChecker` to
+        verify clock monotonicity and slot bounds per event.  Returns an
+        uninstall callable restoring the previous ``step``.
+        """
+        inner = self.step
+
+        def intercepted_step() -> bool:
+            ran = inner()
+            if ran:
+                hook()
+            return ran
+
+        self.step = intercepted_step  # type: ignore[method-assign]
+
+        def uninstall() -> None:
+            self.step = inner  # type: ignore[method-assign]
+
+        return uninstall
+
+    # ------------------------------------------------------------------
     # observability (sampled — never on the per-event path)
     # ------------------------------------------------------------------
     def record_obs(self) -> None:

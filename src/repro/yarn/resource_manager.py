@@ -21,7 +21,7 @@ work, and whenever a slot is released.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.cluster.topology import Cluster
 from repro.sim.engine import Simulator
@@ -180,6 +180,58 @@ class ResourceManager:
                         break
                 if not accepted:
                     break
+
+    # ------------------------------------------------------------------
+    # correctness hooks (zero-cost unless installed)
+    # ------------------------------------------------------------------
+    def install_audit(
+        self,
+        on_register: "Callable[[ApplicationMaster], None] | None" = None,
+        on_occupy: Callable[[Container], None] | None = None,
+        on_release: Callable[[Container], None] | None = None,
+    ) -> Callable[[], None]:
+        """Observe application registration and slot transitions.
+
+        Installed by wrapping the instance methods, so an RM without an
+        audit pays nothing (the :mod:`repro.obs` disabled-cost contract).
+        ``on_register`` fires for every *new* AM attachment, ``on_occupy``
+        before each slot acquisition, and ``on_release`` before each real
+        release (idempotent re-releases are not reported).  Returns an
+        uninstall callable.  Used by :class:`repro.check.InvariantChecker`.
+        """
+        inner_register = self.register
+        inner_occupy = self.occupy
+        inner_release = self.release
+
+        def register(am, queue: str = "default", weight: float = 1.0) -> None:
+            fresh = id(am) not in self._apps
+            inner_register(am, queue=queue, weight=weight)
+            if fresh and on_register is not None:
+                on_register(am)
+
+        def occupy(container: Container) -> None:
+            if on_occupy is not None:
+                on_occupy(container)
+            inner_occupy(container)
+
+        def release(container: Container) -> None:
+            if on_release is not None and not container.released:
+                on_release(container)
+            inner_release(container)
+
+        if on_register is not None:
+            self.register = register  # type: ignore[method-assign]
+        if on_occupy is not None:
+            self.occupy = occupy  # type: ignore[method-assign]
+        if on_release is not None:
+            self.release = release  # type: ignore[method-assign]
+
+        def uninstall() -> None:
+            self.register = inner_register  # type: ignore[method-assign]
+            self.occupy = inner_occupy  # type: ignore[method-assign]
+            self.release = inner_release  # type: ignore[method-assign]
+
+        return uninstall
 
     # ------------------------------------------------------------------
     def occupy(self, container: Container) -> None:

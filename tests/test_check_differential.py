@@ -1,0 +1,44 @@
+"""Differential layer: metamorphic properties every engine must satisfy.
+
+Three families: scaling every node speed by k must scale JCT by roughly
+1/k; scheduling zero failures (or one that never fires) must leave the
+trace byte-identical to a no-schedule run; and every engine must process
+exactly the input bytes.
+"""
+
+import pytest
+
+from repro.check import ScenarioConfig, run_differentials
+from repro.check.differential import (
+    PARITY_ENGINES,
+    check_byte_parity,
+    check_failure_free_equivalence,
+    check_speed_scaling,
+)
+
+
+@pytest.mark.parametrize("engine", PARITY_ENGINES)
+def test_run_differentials_all_pass(engine):
+    reports = run_differentials(ScenarioConfig(engine=engine))
+    assert reports, "differential suite produced no reports"
+    for report in reports:
+        assert report.ok, f"{report.name}: {report.detail}"
+
+
+def test_speed_scaling_direction():
+    report = check_speed_scaling(ScenarioConfig(reducers=0, shuffle_ratio=0.0))
+    assert report.ok, report.detail
+    # The detail records the relative error actually measured.
+    assert "err" in report.detail
+
+
+def test_failure_free_trace_equivalence():
+    report = check_failure_free_equivalence(
+        ScenarioConfig(engine="hadoop-64", reducers=0, shuffle_ratio=0.0)
+    )
+    assert report.ok, report.detail
+
+
+def test_byte_parity_across_engines():
+    report = check_byte_parity(ScenarioConfig(reducers=0, shuffle_ratio=0.0))
+    assert report.ok, report.detail

@@ -1,0 +1,84 @@
+"""Mutation self-test: the checker catches each seeded bug class.
+
+Each mutation in :mod:`repro.check.mutations` breaks one invariant the
+checker claims to enforce — BU conservation, container/slot accounting,
+heartbeat ordering.  If any of these tests fails, the checker has a blind
+spot: it would wave through a scheduler bug of that class.
+"""
+
+import pytest
+
+from repro.check import (
+    MUTATIONS,
+    InvariantViolation,
+    ScenarioConfig,
+    probe,
+    run_scenario,
+)
+
+#: Mutation -> (scenario that triggers it, the rule that must fire).
+CASES = {
+    "double-assign-bu": (ScenarioConfig(mutation="double-assign-bu"), "bu-conservation"),
+    "leak-slot-on-failure": (
+        ScenarioConfig(failures=((30.0, 1),), mutation="leak-slot-on-failure"),
+        "slot-leak",
+    ),
+    "skip-heartbeat": (ScenarioConfig(mutation="skip-heartbeat"), "heartbeat-order"),
+}
+
+
+def test_every_mutation_has_a_case():
+    assert set(CASES) == set(MUTATIONS)
+
+
+@pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+def test_mutation_is_detected_with_precise_rule(mutation):
+    config, expected_rule = CASES[mutation]
+    failure = probe(config)
+    assert failure is not None, f"checker missed mutation {mutation}"
+    assert failure.kind == "invariant"
+    assert failure.rule == expected_rule
+
+
+def test_double_assign_diagnostic_names_the_bu():
+    with pytest.raises(InvariantViolation, match="assigned twice"):
+        run_scenario(CASES["double-assign-bu"][0])
+
+
+def test_leak_slot_diagnostic_names_the_node():
+    config, _ = CASES["leak-slot-on-failure"]
+    failure = probe(config)
+    assert failure is not None
+    assert "never released" in failure.message
+    # The leaked container sat on the failed node.
+    assert "f01" in failure.message
+
+
+def test_skip_heartbeat_diagnostic_names_the_gap():
+    failure = probe(CASES["skip-heartbeat"][0])
+    assert failure is not None
+    assert "round jumped 2 -> 4" in failure.message
+
+
+def test_unchecked_mutated_run_completes_quietly():
+    """The bugs are real but silent: without the checker, each mutated run
+    still 'finishes' — exactly the failure mode the harness exists for."""
+    from repro.check.harness import _run_single
+    from repro.check.invariants import InvariantChecker
+
+    class _Disarmed(InvariantChecker):
+        """Checker that never installs any hook."""
+
+        def arm(self, sim, cluster=None, rm=None):
+            return None
+
+    for mutation, (config, _) in CASES.items():
+        jcts, _events = _run_single(config, _Disarmed(), max_events=5_000_000)
+        assert jcts[0] > 0, f"mutation {mutation} should complete unchecked"
+
+
+def test_unknown_mutation_rejected():
+    from repro.check import apply_mutation
+
+    with pytest.raises(ValueError, match="unknown mutation"):
+        apply_mutation("no-such-bug", rm=None)

@@ -151,3 +151,49 @@ def test_serve_trace_arrivals_requires_file():
 def test_serve_rejects_bad_queues():
     with pytest.raises(SystemExit):
         main(["serve", "--queues", "no-equals-sign", "--n-jobs", "1"])
+
+
+def test_fuzz_small_campaign_clean(capsys):
+    assert main(["fuzz", "--iterations", "3", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz ok: 3/3" in out
+
+
+def test_fuzz_replay_reproducer(capsys, tmp_path):
+    from repro.check import ScenarioConfig
+
+    repro_file = tmp_path / "repro.json"
+    repro_file.write_text(ScenarioConfig().to_json() + "\n")
+    assert main(["fuzz", "--replay", str(repro_file)]) == 0
+    assert "replay clean" in capsys.readouterr().out
+
+
+def test_fuzz_writes_reproducer_on_failure(capsys, tmp_path, monkeypatch):
+    # Force every sampled config to carry a seeded bug; the campaign must
+    # fail, shrink, and write the reproducer JSON to --out.
+    import repro.check.fuzz as fuzz_mod
+    from dataclasses import replace
+
+    real_sample = fuzz_mod.sample_scenario
+    monkeypatch.setattr(
+        fuzz_mod, "sample_scenario",
+        lambda rng, index: replace(
+            real_sample(rng, index), mutation="skip-heartbeat", n_jobs=1
+        ),
+    )
+    out_file = tmp_path / "reproducer.json"
+    rc = main(["fuzz", "--iterations", "2", "--seed", "0",
+               "--out", str(out_file)])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "heartbeat-order" in err
+    from repro.check import ScenarioConfig
+
+    replayed = ScenarioConfig.from_json(out_file.read_text())
+    assert replayed.mutation == "skip-heartbeat"
+
+
+def test_diff_subcommand(capsys):
+    assert main(["diff", "--engine", "flexmap"]) == 0
+    out = capsys.readouterr().out
+    assert "speed-scaling" in out or "ok" in out
