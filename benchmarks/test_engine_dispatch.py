@@ -1,0 +1,148 @@
+"""Engine-dispatch macro-benchmark for the plugin refactor.
+
+Drives a 12-job burst (all submitted at t=0, so every AM's heartbeat lands
+on the same 5 s grid) through the multi-job service twice — once with the
+legacy one-event-per-service heartbeat scheduling and once with the
+:class:`~repro.yarn.heartbeat.HeartbeatHub` coalescing — and asserts:
+
+* coalescing removes >= 20% of processed heap events on this scenario;
+* every per-job trace is byte-for-byte identical between the two modes
+  (the hub is a pure scheduling optimization, invisible to results);
+* registry dispatch (``resolve_engine`` string -> EngineSpec) stays cheap.
+
+The record is written to ``BENCH_refactor.json`` at the repo root (uploaded
+by CI) and mirrored as text under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from conftest import bench_scale, save_result
+
+import repro.yarn.heartbeat as heartbeat_mod
+from repro.engines.registry import EngineSpec, resolve_engine
+from repro.experiments.clusters import heterogeneous6_cluster
+from repro.multijob.arrivals import JobRequest, TraceArrivals
+from repro.multijob.service import ClusterService, ServiceResult
+from repro.workloads.puma import puma
+
+BENCH_OUT = Path(__file__).parent.parent / "BENCH_refactor.json"
+
+N_JOBS = 12
+SEED = 7
+ENGINES = ("hadoop-64", "flexmap")
+BENCHMARKS = ("WC", "GR", "HR")
+DISPATCH_LOOKUPS = 20_000
+
+
+def _arrivals(input_mb: float) -> TraceArrivals:
+    return TraceArrivals([
+        JobRequest(
+            submit_time=0.0,
+            workload=puma(BENCHMARKS[i % len(BENCHMARKS)]),
+            engine=ENGINES[i % len(ENGINES)],
+            input_mb=input_mb,
+        )
+        for i in range(N_JOBS)
+    ])
+
+
+def _run_service(coalesce: bool, input_mb: float) -> tuple[ServiceResult, float]:
+    saved = heartbeat_mod.COALESCE_HEARTBEATS
+    heartbeat_mod.COALESCE_HEARTBEATS = coalesce
+    try:
+        service = ClusterService(
+            heterogeneous6_cluster, _arrivals(input_mb), policy="fair", seed=SEED
+        )
+        start = time.perf_counter()
+        result = service.run(compute_slowdown=False)
+        wall = time.perf_counter() - start
+    finally:
+        heartbeat_mod.COALESCE_HEARTBEATS = saved
+    return result, wall
+
+
+def _trace_bytes(result: ServiceResult) -> list[bytes]:
+    return [
+        json.dumps(dataclasses.asdict(o.trace), sort_keys=True).encode()
+        for o in result.outcomes
+    ]
+
+
+def _time_dispatch() -> float:
+    """Mean nanoseconds per registry dispatch (string -> EngineSpec)."""
+    names = [ENGINES[i % len(ENGINES)] for i in range(DISPATCH_LOOKUPS)]
+    start = time.perf_counter()
+    for name in names:
+        spec = resolve_engine(name)
+    elapsed = time.perf_counter() - start
+    assert isinstance(spec, EngineSpec)
+    return elapsed / DISPATCH_LOOKUPS * 1e9
+
+
+def test_engine_dispatch_and_heartbeat_coalescing(benchmark):
+    input_mb = 512.0 * bench_scale()
+
+    legacy, legacy_wall = _run_service(coalesce=False, input_mb=input_mb)
+    (coalesced, coalesced_wall) = benchmark.pedantic(
+        lambda: _run_service(coalesce=True, input_mb=input_mb),
+        rounds=1, iterations=1,
+    )
+
+    # The hub must not change any result: same jobs, same JCTs, and every
+    # per-job trace byte-identical.
+    assert [o.job_id for o in legacy.outcomes] == [o.job_id for o in coalesced.outcomes]
+    assert [o.jct for o in legacy.outcomes] == [o.jct for o in coalesced.outcomes]
+    traces_identical = _trace_bytes(legacy) == _trace_bytes(coalesced)
+    assert traces_identical, "coalescing perturbed a per-job trace"
+
+    reduction = 1.0 - coalesced.events_processed / legacy.events_processed
+    assert reduction >= 0.20, (
+        f"heartbeat coalescing removed only {reduction:.1%} of heap events "
+        f"({legacy.events_processed} -> {coalesced.events_processed})"
+    )
+
+    dispatch_ns = _time_dispatch()
+    assert dispatch_ns < 50_000, f"registry dispatch too slow: {dispatch_ns:.0f} ns"
+
+    record = {
+        "scenario": {
+            "cluster": "heterogeneous6",
+            "policy": "fair",
+            "seed": SEED,
+            "jobs": N_JOBS,
+            "engines": list(ENGINES),
+            "benchmarks": list(BENCHMARKS),
+            "input_mb_per_job": input_mb,
+        },
+        "events_processed_legacy": legacy.events_processed,
+        "events_processed_coalesced": coalesced.events_processed,
+        "event_reduction_pct": round(reduction * 100.0, 2),
+        "traces_identical": traces_identical,
+        "makespan_s": round(max(o.finish_time for o in coalesced.outcomes), 3),
+        "mean_jct_s": round(
+            sum(o.jct for o in coalesced.outcomes) / len(coalesced.outcomes), 3
+        ),
+        "wall_s_legacy": round(legacy_wall, 4),
+        "wall_s_coalesced": round(coalesced_wall, 4),
+        "dispatch_ns_per_lookup": round(dispatch_ns, 1),
+        "dispatch_lookups": DISPATCH_LOOKUPS,
+    }
+    BENCH_OUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    save_result(
+        "engine_dispatch",
+        "Engine dispatch + heartbeat coalescing\n"
+        f"  jobs={N_JOBS} input={input_mb:g}MB/job cluster=heterogeneous6 "
+        f"policy=fair seed={SEED}\n"
+        f"  heap events: legacy={legacy.events_processed} "
+        f"coalesced={coalesced.events_processed} "
+        f"(-{reduction:.1%})\n"
+        f"  per-job traces identical: {traces_identical}\n"
+        f"  makespan={record['makespan_s']:.0f}s mean JCT={record['mean_jct_s']:.0f}s\n"
+        f"  registry dispatch: {dispatch_ns:.0f} ns/lookup",
+    )

@@ -10,15 +10,26 @@ Quickstart::
     result = run_job(physical_cluster, puma("WC"), "flexmap", seed=1)
     print(result.jct, result.efficiency)
 
-Public surface: the experiment runner and cluster builders
-(:mod:`repro.experiments`), the FlexMap engine (:mod:`repro.core`), the
-baselines (:mod:`repro.schedulers`), the PUMA workloads
-(:mod:`repro.workloads`) and the metrics (:mod:`repro.metrics`).
+Public surface: the engine registry and all engines
+(:mod:`repro.engines`), the experiment harness and cluster builders
+(:mod:`repro.experiments`), the FlexMap components (:mod:`repro.core`),
+the PUMA workloads (:mod:`repro.workloads`) and the metrics
+(:mod:`repro.metrics`).
 """
 
 from repro.cluster.failures import FailureSchedule, NodeFailure
-from repro.core.flexmap_am import FlexMapAM
 from repro.core.sizing import SizingConfig
+from repro.engines import (
+    ENGINES,
+    FlexMapAM,
+    RunResult,
+    SkewTuneAM,
+    StockHadoopAM,
+    compare_engines,
+    register_engine,
+    resolve_engine,
+    run_job,
+)
 from repro.experiments.clusters import (
     heterogeneous6_cluster,
     homogeneous_cluster,
@@ -28,12 +39,9 @@ from repro.experiments.clusters import (
     virtual_cluster,
 )
 from repro.experiments.iterative import IterativeResult, run_iterative_job
-from repro.experiments.runner import ENGINES, RunResult, compare_engines, run_job
 from repro.mapreduce.job import JobSpec
 from repro.metrics.efficiency import job_efficiency
 from repro.metrics.jct import normalized_jct
-from repro.schedulers.skewtune import SkewTuneAM
-from repro.schedulers.stock import StockHadoopAM
 from repro.workloads.puma import PUMA_BENCHMARKS, puma
 
 __version__ = "1.0.0"
@@ -58,6 +66,8 @@ __all__ = [
     "normalized_jct",
     "physical_cluster",
     "puma",
+    "register_engine",
+    "resolve_engine",
     "run_iterative_job",
     "run_job",
     "three_node_example",

@@ -29,7 +29,7 @@ from dataclasses import dataclass, replace
 
 from repro.check.harness import ScenarioConfig, build_cluster, build_job
 from repro.cluster.failures import FailureSchedule, NodeFailure
-from repro.experiments.runner import run_job
+from repro.engines.driver import run_job
 from repro.obs import MemoryTraceEmitter, Observability
 
 #: Engines compared by the byte-parity check.

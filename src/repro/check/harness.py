@@ -24,11 +24,11 @@ from repro.cluster.interference import MultiTenantInterference
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import Node
 from repro.cluster.topology import Cluster
-from repro.experiments.runner import ENGINES
+from repro.engines.base import AMConfig
+from repro.engines.registry import ENGINES
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.placement import RandomPlacement
 from repro.mapreduce.job import JobSpec
-from repro.schedulers.base import AMConfig
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.yarn.resource_manager import ResourceManager

@@ -46,7 +46,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.topology import Cluster
-    from repro.schedulers.base import ApplicationMaster
+    from repro.engines.base import ApplicationMaster
     from repro.sim.engine import Simulator
     from repro.yarn.resource_manager import ResourceManager
 

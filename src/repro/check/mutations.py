@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.schedulers.base import ApplicationMaster
+    from repro.engines.base import ApplicationMaster
     from repro.yarn.resource_manager import ResourceManager
 
 MUTATIONS: tuple[str, ...] = (

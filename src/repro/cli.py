@@ -25,8 +25,9 @@ from repro.experiments.clusters import (
     physical_cluster,
     virtual_cluster,
 )
+from repro.engines.driver import compare_engines, run_job
+from repro.engines.registry import engine_names
 from repro.experiments.report import render_series, render_table
-from repro.experiments.runner import ENGINES, compare_engines, run_job
 from repro.workloads.puma import FIGURE_ORDER, PUMA_BENCHMARKS, puma
 
 # partial (not lambda) so factories stay picklable for `compare --jobs N`.
@@ -57,7 +58,7 @@ def cmd_list(args) -> int:
     from repro.multijob.arrivals import ARRIVAL_KINDS
     from repro.multijob.policies import CLUSTER_POLICIES
 
-    print("engines:     " + ", ".join(sorted(ENGINES)))
+    print("engines:     " + ", ".join(engine_names()))
     print("clusters:    " + ", ".join(sorted(CLUSTERS)))
     print("benchmarks:  " + ", ".join(w.abbrev for w in PUMA_BENCHMARKS))
     print("workloads:   " + ", ".join(
@@ -129,7 +130,7 @@ def cmd_compare(args) -> int:
     """Run several engines over shared seeds and tabulate."""
     from repro.experiments.stats import seed_sweep
 
-    engines = args.engines or sorted(ENGINES)
+    engines = args.engines or engine_names()
     rows = []
     for engine in engines:
         sweep = seed_sweep(
@@ -381,7 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one job")
     p_run.add_argument("--cluster", default="physical")
-    p_run.add_argument("--engine", default="flexmap", choices=sorted(ENGINES))
+    p_run.add_argument("--engine", default="flexmap", choices=engine_names())
     p_run.add_argument("--benchmark", default="WC")
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--input-gb", type=float, default=None)
@@ -393,7 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="compare engines on one benchmark")
     p_cmp.add_argument("--cluster", default="physical")
     p_cmp.add_argument("--benchmark", default="WC")
-    p_cmp.add_argument("--engines", nargs="*", choices=sorted(ENGINES))
+    p_cmp.add_argument("--engines", nargs="*", choices=engine_names())
     p_cmp.add_argument("--seeds", nargs="*", type=int, default=[1, 2])
     p_cmp.add_argument("--input-gb", type=float, default=None)
     p_cmp.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -428,7 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--queues", default=None, metavar="Q=W,...",
                        help="capacity-queue weights, e.g. batch=3,adhoc=1")
     p_srv.add_argument("--engines", nargs="*", default=["flexmap", "hadoop-64"],
-                       choices=sorted(ENGINES))
+                       choices=engine_names())
     p_srv.add_argument("--benchmarks", nargs="*",
                        default=["WC", "GR", "HR", "HM"])
     p_srv.add_argument("--scale", type=float, default=0.125,
@@ -466,7 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff = sub.add_parser(
         "diff", help="run cross-engine differential (metamorphic) checks"
     )
-    p_diff.add_argument("--engine", default="flexmap", choices=sorted(ENGINES))
+    p_diff.add_argument("--engine", default="flexmap", choices=engine_names())
     p_diff.add_argument("--seed", type=int, default=0)
 
     p_trace = sub.add_parser("trace", help="inspect a recorded JSONL trace")

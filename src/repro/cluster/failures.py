@@ -28,7 +28,7 @@ from repro.cluster.topology import Cluster
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.schedulers.base import ApplicationMaster
+    from repro.engines.base import ApplicationMaster
     from repro.yarn.resource_manager import ResourceManager
 
 

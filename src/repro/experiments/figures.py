@@ -15,8 +15,9 @@ from typing import Callable
 import numpy as np
 
 from repro.cluster.topology import Cluster
-from repro.core.flexmap_am import FlexMapAM
 from repro.core.sizing import SizingConfig
+from repro.engines.flexmap import FlexMapAM
+from repro.engines.stock import StockHadoopAM
 from repro.experiments.clusters import (
     heterogeneous6_cluster,
     homogeneous_cluster,
@@ -27,7 +28,6 @@ from repro.experiments.clusters import (
 )
 from repro.experiments.runner import ENGINES, EngineSpec, RunResult, run_job
 from repro.metrics.stats import normalized_runtime_pdf, straggler_ratio
-from repro.schedulers.stock import StockHadoopAM
 from repro.workloads.puma import FIGURE_ORDER, puma
 
 #: Engines compared in Figs. 5/6 (small clusters).

@@ -18,14 +18,14 @@ from typing import Callable
 import numpy as np
 
 from repro.cluster.topology import Cluster
-from repro.core.flexmap_am import FlexMapAM
 from repro.core.sizing import DynamicSizer, SizingConfig
 from repro.core.speed_monitor import SpeedMonitor
-from repro.experiments.runner import ENGINES, EngineSpec
+from repro.engines.base import AMConfig
+from repro.engines.flexmap import FlexMapAM
+from repro.engines.registry import EngineSpec, resolve_engine
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.placement import RandomPlacement
 from repro.mapreduce.job import JobSpec
-from repro.schedulers.base import AMConfig
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.sim.trace import JobTrace
@@ -72,7 +72,7 @@ def run_iterative_job(
     """
     if iterations < 1:
         raise ValueError(f"need at least one iteration: {iterations}")
-    spec = ENGINES[engine] if isinstance(engine, str) else engine
+    spec = resolve_engine(engine)
     sim = Simulator()
     streams = RandomStreams(seed)
     cluster = cluster_factory()

@@ -10,11 +10,22 @@ locality-preferred split selection.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.hdfs.block import Block
 
 
 class LocalityIndex:
-    """Mutable index over unprocessed blocks."""
+    """Mutable index over unprocessed blocks.
+
+    Every container offer asks for the node's smallest unprocessed BU id,
+    and a node is typically offered many times in a row, so the index keeps
+    a per-node sorted candidate list (``_min_cache``) that is built once and
+    then lazily front-filtered against the live ``node_to_block`` bucket —
+    ids taken since the last visit are skipped as they surface.  The cache
+    is dropped for a node whenever :meth:`put_back` re-inserts a block there
+    (failure re-enqueue only, so invalidation is rare).
+    """
 
     def __init__(self, blocks: list[Block]) -> None:
         self._blocks: dict[int, Block] = {b.block_id: b for b in blocks}
@@ -24,6 +35,9 @@ class LocalityIndex:
             self.block_to_node[b.block_id] = set(b.replicas)
             for node in b.replicas:
                 self.node_to_block.setdefault(node, set()).add(b.block_id)
+        # node id -> ascending candidate BU ids (may contain stale entries;
+        # consumers must check membership in the live bucket).
+        self._min_cache: dict[str, deque[int]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -42,6 +56,49 @@ class LocalityIndex:
         """Unprocessed blocks with a replica on the node, by id."""
         ids = self.node_to_block.get(node_id, set())
         return [self._blocks[i] for i in sorted(ids)]
+
+    # ------------------------------------------------------------------
+    def _candidates(self, node_id: str, bucket: set[int]) -> deque[int]:
+        """The node's cached candidate deque, front-filtered to a live id."""
+        cache = self._min_cache.get(node_id)
+        if cache is None:
+            cache = deque(sorted(bucket))
+            self._min_cache[node_id] = cache
+        while cache and cache[0] not in bucket:
+            cache.popleft()
+        if not cache and bucket:
+            # Defensive rebuild; unreachable while put_back invalidates.
+            cache = deque(sorted(bucket))
+            self._min_cache[node_id] = cache
+        return cache
+
+    def min_local_block(self, node_id: str) -> int | None:
+        """Smallest unprocessed BU id with a replica on ``node_id``.
+
+        Equivalent to ``min(node_to_block[node_id])`` but amortized O(1)
+        across consecutive offers to the same node via the candidate cache.
+        """
+        bucket = self.node_to_block.get(node_id)
+        if not bucket:
+            return None
+        return self._candidates(node_id, bucket)[0]
+
+    def smallest_local_blocks(self, node_id: str, n: int) -> list[int]:
+        """The ``n`` smallest unprocessed BU ids local to ``node_id``.
+
+        Equivalent to ``sorted(node_to_block[node_id])[:n]`` without
+        re-sorting the bucket on every offer.
+        """
+        bucket = self.node_to_block.get(node_id)
+        if not bucket:
+            return []
+        out: list[int] = []
+        for bid in self._candidates(node_id, bucket):
+            if bid in bucket:
+                out.append(bid)
+                if len(out) == n:
+                    break
+        return out
 
     # ------------------------------------------------------------------
     def take(self, block_id: int) -> Block:
@@ -65,6 +122,8 @@ class LocalityIndex:
         self.block_to_node[block.block_id] = set(block.replicas)
         for node in block.replicas:
             self.node_to_block.setdefault(node, set()).add(block.block_id)
+            # The returning id may undercut the cached front; rebuild lazily.
+            self._min_cache.pop(node, None)
 
     # ------------------------------------------------------------------
     def take_for_node(self, node_id: str, n: int) -> tuple[list[Block], list[Block]]:
@@ -79,7 +138,7 @@ class LocalityIndex:
             raise ValueError(f"need at least one block: {n}")
         local: list[Block] = []
         remote: list[Block] = []
-        local_ids = sorted(self.node_to_block.get(node_id, set()))[:n]
+        local_ids = self.smallest_local_blocks(node_id, n)
         for bid in local_ids:
             local.append(self.take(bid))
         while len(local) + len(remote) < n and self._blocks:
@@ -89,7 +148,7 @@ class LocalityIndex:
                 # happen) — take any.
                 bid = next(iter(self._blocks))
             else:
-                bid = min(self.node_to_block[donor])
+                bid = self.min_local_block(donor)
             remote.append(self.take(bid))
         return local, remote
 

@@ -27,9 +27,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.flexmap_am import FlexMapAM
 from repro.core.speed_monitor import SpeedMonitor
-from repro.experiments.runner import ENGINES, run_job
+from repro.engines.base import AMConfig, ApplicationMaster
+from repro.engines.driver import run_job
+from repro.engines.flexmap import FlexMapAM
+from repro.engines.registry import resolve_engine
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.placement import RandomPlacement
 from repro.mapreduce.job import JobSpec
@@ -37,7 +39,6 @@ from repro.multijob.arrivals import ArrivalProcess, JobRequest
 from repro.multijob.policies import ClusterSchedulerPolicy, make_policy
 from repro.multijob.slo import SLOReport, compute_slo
 from repro.obs import Observability
-from repro.schedulers.base import AMConfig, ApplicationMaster
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.sim.trace import JobTrace
@@ -254,7 +255,7 @@ class ClusterService:
     def _submit(self, request: JobRequest) -> None:
         job_id = f"j{self._job_seq:03d}"
         self._job_seq += 1
-        spec = ENGINES[request.engine] if isinstance(request.engine, str) else request.engine
+        spec = resolve_engine(request.engine)
         base_job = request.workload.job(input_mb=request.input_mb, small=True)
         # Unique per-submission identity: two WC jobs must not collide on
         # the NameNode namespace or in the shared trace stream.

@@ -1,13 +1,22 @@
-"""Schedulers: stock Hadoop (with/without speculation, LATE) and SkewTune.
+"""Deprecated package — the engines moved to :mod:`repro.engines`.
 
-The FlexMap engine itself lives in :mod:`repro.core` — these are the
-baselines the paper compares against.
+The baselines (stock Hadoop, SkewTune) and the AM base class now live
+alongside FlexMap under :mod:`repro.engines`; this package re-exports the
+same objects so historical imports keep working.
 """
 
-from repro.schedulers.base import AMConfig, ApplicationMaster, MapAssignment
-from repro.schedulers.skewtune import SkewTuneAM, SkewTuneConfig
-from repro.schedulers.speculation import SpeculationConfig, SpeculationManager
-from repro.schedulers.stock import StockHadoopAM
+import warnings
+
+from repro.engines.base import AMConfig, ApplicationMaster, MapAssignment
+from repro.engines.skewtune import SkewTuneAM, SkewTuneConfig
+from repro.engines.speculation import SpeculationConfig, SpeculationManager
+from repro.engines.stock import StockHadoopAM
+
+warnings.warn(
+    "repro.schedulers is deprecated; import from repro.engines",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = [
     "AMConfig",

@@ -1,497 +1,32 @@
-"""ApplicationMaster base class.
+"""Deprecated shim — the AM base moved to :mod:`repro.engines.base`.
 
-Owns the lifecycle every engine shares — accepting container offers,
-launching task attempts, tracking the map -> shuffle/reduce phase
-transition, recording the job trace — and leaves three decisions to
-subclasses: how map work is prepared, which map (if any) to run on an
-offered container, and where reducers go.
-
-Reducers are launched after the map phase completes (slowstart = 1.0, the
-conservative Hadoop setting; the paper's analysis treats the phases as
-sequential).
+Kept so historical imports (``from repro.schedulers.base import
+ApplicationMaster``) keep resolving to the same class objects; new code
+should import from :mod:`repro.engines.base`.
 """
 
-from __future__ import annotations
+import warnings
 
-import math
-from dataclasses import dataclass, field
+from repro.engines.base import (  # noqa: F401
+    AMConfig,
+    ApplicationMaster,
+    MapAssignment,
+    MapPhaseDriver,
+    ReducePhaseDriver,
+    TraceRecorder,
+)
 
-from repro.cluster.topology import Cluster
-from repro.hdfs.namenode import NameNode
-from repro.mapreduce.attempt import TaskAttempt
-from repro.mapreduce.job import JobSpec
-from repro.mapreduce.shuffle import IntermediateStore
-from repro.mapreduce.split import InputSplit
-from repro.obs import Observability
-from repro.sim.engine import Simulator
-from repro.sim.random import RandomStreams
-from repro.sim.trace import JobTrace
-from repro.yarn.container import Container
-from repro.yarn.heartbeat import HeartbeatService
-from repro.yarn.overhead import OverheadModel
-from repro.yarn.resource_manager import ResourceManager
+warnings.warn(
+    "repro.schedulers.base is deprecated; import from repro.engines.base",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-
-@dataclass(frozen=True)
-class AMConfig:
-    """Settings shared by every engine."""
-
-    block_size_mb: float = 64.0  # split size for fixed-size engines
-    overhead: OverheadModel = field(default_factory=OverheadModel)
-    heartbeat_period_s: float = 5.0
-    obs: Observability | None = None  # structured tracing/metrics (off = None)
-
-
-@dataclass
-class MapAssignment:
-    """A map task ready to launch on a granted container."""
-
-    task_id: str
-    split: InputSplit
-    wave: int = 0
-    speculative: bool = False
-    extra_transfer_s: float = 0.0  # e.g. SkewTune repartition I/O
-    alg1_bus: int = 0  # FlexMap: Algorithm 1's size before the tail cap
-
-
-class ApplicationMaster:
-    """Engine-agnostic job driver."""
-
-    engine_name = "base"
-
-    def __init__(
-        self,
-        sim: Simulator,
-        cluster: Cluster,
-        rm: ResourceManager,
-        namenode: NameNode,
-        job: JobSpec,
-        streams: RandomStreams,
-        config: AMConfig | None = None,
-    ) -> None:
-        self.sim = sim
-        self.cluster = cluster
-        self.rm = rm
-        self.namenode = namenode
-        self.job = job
-        self.streams = streams
-        self.config = config or AMConfig()
-        self.obs = self.config.obs
-        self.trace = JobTrace(job_id=job.name)
-        self.store = IntermediateStore()
-        self.heartbeat = HeartbeatService(sim, self.config.heartbeat_period_s)
-        self.running_maps: dict[TaskAttempt, MapAssignment] = {}
-        self.map_containers: dict[TaskAttempt, Container] = {}
-        self.running_reduces: dict[TaskAttempt, Container] = {}
-        self.reduce_started = False
-        self.pending_reducers = 0
-        self._reduce_seq = 0
-        self._reduce_speculated: set[str] = set()
-        self._reduce_done_ids: set[str] = set()
-        self.job_done = False
-        self._map_task_seq = 0
-        self._overhead_rng = streams.stream("overhead")
-        self._noise_rng = streams.stream("exec-noise")
-
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    def submit(self) -> None:
-        """Submit the job: prepare map work and start taking containers."""
-        self.trace.submit_time = self.sim.now
-        if self.obs is not None:
-            self.obs.trace.emit(
-                "job_start", self.sim.now, job=self.job.name, engine=self.engine_name
-            )
-        self.prepare_maps()
-        self.heartbeat.subscribe(self._on_heartbeat)
-        self.heartbeat.start()
-        self.rm.register(self)
-        self.rm.start()
-
-    def run_to_completion(self, max_events: int | None = None) -> JobTrace:
-        """Convenience: submit and drive the simulator until the job ends."""
-        self.submit()
-        guard = max_events if max_events is not None else 50_000_000
-        while not self.job_done and self.sim.step():
-            guard -= 1
-            if guard <= 0:
-                raise RuntimeError(f"job {self.job.name} exceeded event budget")
-        if not self.job_done:
-            raise RuntimeError(f"job {self.job.name} stalled: simulator idle")
-        return self.trace
-
-    # ------------------------------------------------------------------
-    # subclass API
-    # ------------------------------------------------------------------
-    def prepare_maps(self) -> None:
-        """Set up pending map work.  Subclasses must implement."""
-        raise NotImplementedError
-
-    def select_map(self, container: Container) -> MapAssignment | None:
-        """Pick a map task for the offered container, or None to decline."""
-        raise NotImplementedError
-
-    def maps_pending(self) -> bool:
-        """True while unlaunched map work remains."""
-        raise NotImplementedError
-
-    def on_map_complete(self, attempt: TaskAttempt, assignment: MapAssignment) -> None:
-        """Hook: called after a map attempt finishes successfully."""
-
-    def select_reduce_node_ok(self, container: Container) -> bool:
-        """Placement filter for reducers; base accepts any node (stock)."""
-        return True
-
-    def on_tick(self, round_no: int) -> None:
-        """Hook: called every heartbeat round (speculation checks etc.)."""
-
-    # ------------------------------------------------------------------
-    # container offers
-    # ------------------------------------------------------------------
-    def on_container(self, container: Container) -> bool:
-        """RM offer: return True iff a task was launched on the container."""
-        if self.job_done:
-            return False
-        if self.obs is not None:
-            self.obs.metrics.counter("am.container_offers").inc()
-        if not self.maps_done():
-            assignment = self.select_map(container)
-            if assignment is None:
-                return False
-            self._launch_map(container, assignment)
-            return True
-        if self.reduce_started and self.pending_reducers > 0:
-            if not self.select_reduce_node_ok(container):
-                return False
-            self._launch_reduce(container)
-            return True
-        if self.reduce_started and self.running_reduces:
-            return self._maybe_speculate_reduce(container)
-        return False
-
-    # ------------------------------------------------------------------
-    # map phase
-    # ------------------------------------------------------------------
-    def next_map_id(self) -> str:
-        """Fresh sequential map task id."""
-        self._map_task_seq += 1
-        return f"m{self._map_task_seq:05d}"
-
-    def _launch_map(self, container: Container, assignment: MapAssignment) -> None:
-        self.rm.occupy(container)
-        node = container.node
-        split = assignment.split
-        overhead = self.config.overhead.sample(node.effective_speed, self._overhead_rng)
-        transfer = (
-            self.cluster.network.remote_read_time(split.remote_mb)
-            + assignment.extra_transfer_s
-        )
-        noise = node.sample_work_noise(self._noise_rng)
-        attempt = TaskAttempt(
-            self.sim,
-            node,
-            task_id=assignment.task_id,
-            kind="map",
-            size_mb=split.size_mb,
-            work_s=split.work_mb * self.job.map_cost_s_per_mb * noise,
-            overhead_s=overhead,
-            transfer_s=transfer,
-            on_complete=lambda a: self._map_finished(a, container),
-            wave=assignment.wave,
-            speculative=assignment.speculative,
-            num_bus=split.num_bus,
-            local_mb=split.local_mb,
-            remote_mb=split.remote_mb,
-        )
-        self.running_maps[attempt] = assignment
-        self.map_containers[attempt] = container
-        if self.obs is not None:
-            metrics = self.obs.metrics
-            metrics.counter("am.containers_bound").inc()
-            metrics.counter("am.maps_launched").inc()
-            if assignment.speculative:
-                metrics.counter("am.speculative_maps").inc()
-                self.obs.trace.emit(
-                    "speculate", self.sim.now,
-                    task=assignment.task_id, node=node.node_id,
-                )
-            self.obs.trace.emit(
-                "map_launch", self.sim.now,
-                task=assignment.task_id, node=node.node_id,
-                size_mb=round(split.size_mb, 3), n_bus=split.num_bus,
-                wave=assignment.wave, speculative=assignment.speculative,
-            )
-        if math.isnan(self.trace.map_phase_start):
-            self.trace.map_phase_start = self.sim.now
-
-    def _map_finished(self, attempt: TaskAttempt, container: Container) -> None:
-        assignment = self.running_maps.pop(attempt)
-        self.map_containers.pop(attempt, None)
-        self.trace.add(attempt.record)
-        self.store.add(
-            attempt.node.node_id,
-            attempt.record.processed_mb * self.job.shuffle_ratio,
-        )
-        if self.obs is not None:
-            self.obs.metrics.counter("am.maps_completed").inc()
-            self.obs.trace.emit(
-                "map_complete", self.sim.now,
-                task=attempt.task_id, node=attempt.node.node_id,
-                runtime=round(attempt.record.runtime, 3),
-                size_mb=round(attempt.record.size_mb, 3),
-                productivity=round(attempt.record.productivity, 4),
-            )
-        self.on_map_complete(attempt, assignment)
-        self.rm.release(container)
-        self._check_map_phase_end()
-
-    def finalize_stopped_map(self, attempt: TaskAttempt, container: Container) -> None:
-        """Bookkeeping for an attempt stopped early with committed output."""
-        self.running_maps.pop(attempt, None)
-        self.map_containers.pop(attempt, None)
-        self.trace.add(attempt.record)
-        self.store.add(
-            attempt.node.node_id,
-            attempt.record.processed_mb * self.job.shuffle_ratio,
-        )
-        self.rm.release(container)
-
-    def finalize_killed_map(
-        self, attempt: TaskAttempt, container: Container | None
-    ) -> None:
-        """Bookkeeping for an attempt killed with output discarded.
-
-        ``container`` may be None for attempts whose container record was
-        already dropped (defensive: a crash arriving mid-teardown must not
-        turn into an AttributeError).
-        """
-        self.running_maps.pop(attempt, None)
-        self.map_containers.pop(attempt, None)
-        self.trace.add(attempt.record)
-        if container is not None:
-            self.rm.release(container)
-
-    def maps_done(self) -> bool:
-        """True once no map work is pending and nothing is running."""
-        return not self.maps_pending() and not self.running_maps
-
-    def _check_map_phase_end(self) -> None:
-        if not self.maps_done() or self.reduce_started:
-            if self.maps_pending():
-                self.rm.request_offers()
-            return
-        self.trace.map_phase_end = max(
-            (r.end for r in self.trace.records if r.kind == "map"),
-            default=self.sim.now,
-        )
-        if self.job.map_only:
-            self._finish_job()
-            return
-        self.reduce_started = True
-        self.pending_reducers = self.job.num_reducers
-        self.rm.request_offers()
-
-    # ------------------------------------------------------------------
-    # reduce phase
-    # ------------------------------------------------------------------
-    def _launch_reduce(
-        self, container: Container, task_id: str | None = None, speculative: bool = False
-    ) -> None:
-        self.rm.occupy(container)
-        if not speculative:
-            self.pending_reducers -= 1
-            self._reduce_seq += 1
-            task_id = f"r{self._reduce_seq:04d}"
-        node = container.node
-        share = self.store.reducer_share_mb(self.job.num_reducers)
-        cross = self.store.cross_node_mb(node.node_id, share)
-        overhead = self.config.overhead.sample(node.effective_speed, self._overhead_rng)
-        noise = node.sample_work_noise(self._noise_rng)
-        attempt = TaskAttempt(
-            self.sim,
-            node,
-            task_id=task_id,
-            kind="reduce",
-            size_mb=share,
-            work_s=share * self.job.reduce_cost_s_per_mb * noise,
-            overhead_s=overhead,
-            transfer_s=self.cluster.network.shuffle_time(cross),
-            on_complete=lambda a: self._reduce_finished(a, container),
-            speculative=speculative,
-            local_mb=share - cross,
-            remote_mb=cross,
-        )
-        self.running_reduces[attempt] = container
-        if self.obs is not None:
-            self.obs.metrics.counter("am.reduces_launched").inc()
-            self.obs.trace.emit(
-                "reduce_launch", self.sim.now,
-                task=task_id, node=node.node_id,
-                size_mb=round(share, 3), speculative=speculative,
-            )
-
-    def _reduce_finished(self, attempt: TaskAttempt, container: Container) -> None:
-        self.running_reduces.pop(attempt, None)
-        self.trace.add(attempt.record)
-        if self.obs is not None:
-            self.obs.metrics.counter("am.reduces_completed").inc()
-            self.obs.trace.emit(
-                "reduce_complete", self.sim.now,
-                task=attempt.task_id, node=attempt.node.node_id,
-                runtime=round(attempt.record.runtime, 3),
-            )
-        self._reduce_done_ids.add(attempt.task_id)
-        # First copy home wins: kill the loser of a speculation race.
-        for copy, copy_container in list(self.running_reduces.items()):
-            if copy.task_id == attempt.task_id:
-                copy.kill()
-                self.running_reduces.pop(copy, None)
-                self.trace.add(copy.record)
-                self.rm.release(copy_container)
-        self.rm.release(container)
-        if self.pending_reducers == 0 and not self.running_reduces:
-            self._finish_job()
-
-    @property
-    def completed_reducers(self) -> int:
-        return len(self._reduce_done_ids)
-
-    def _reduce_speculation_enabled(self) -> bool:
-        """Reduce backups run whenever the engine's speculator is enabled —
-        YARN speculates reduces exactly as it does maps."""
-        manager = getattr(self, "speculation", None)
-        return manager is not None and manager.config.enabled
-
-    def _maybe_speculate_reduce(self, container: Container) -> bool:
-        """Back up the worst reduce straggler on an idle container (LATE)."""
-        if not self._reduce_speculation_enabled():
-            return False
-        done = [
-            r
-            for r in self.trace.records
-            if r.kind == "reduce" and not r.killed and r.runtime > 0
-        ]
-        fresh = (
-            sum(r.runtime for r in done) / len(done) if done else math.inf
-        )
-        candidates = [
-            a
-            for a in self.running_reduces
-            if a.task_id not in self._reduce_speculated
-            and not a.record.speculative
-            and a.elapsed() >= 30.0
-            and a.progress() < 0.9
-            and a.est_time_left() > fresh
-        ]
-        if not candidates:
-            return False
-        victim = max(candidates, key=lambda a: (a.est_time_left(), a.task_id))
-        self._reduce_speculated.add(victim.task_id)
-        self._launch_reduce(container, task_id=victim.task_id, speculative=True)
-        return True
-
-    # ------------------------------------------------------------------
-    # fault tolerance
-    # ------------------------------------------------------------------
-    def requeue_map(self, assignment: MapAssignment) -> None:
-        """Return a lost attempt's input to the unprocessed pool.
-
-        Engines override with their own bookkeeping (locality index,
-        BU binder).  The base implementation refuses rather than silently
-        lose data.
-        """
-        raise NotImplementedError(f"{type(self).__name__} cannot requeue maps")
-
-    def _has_live_copy(self, task_id: str, other_than: TaskAttempt) -> bool:
-        return any(
-            a.task_id == task_id and a is not other_than for a in self.running_maps
-        )
-
-    def on_node_failure(self, node) -> None:
-        """Crash handling: kill the node's attempts and re-enqueue the work.
-
-        Map input lost with the node is re-enqueued (unless another copy of
-        the task is still running elsewhere — speculation's silver lining);
-        reducers return to pending.  Intermediate map output is modelled as
-        already fetched/replicated, so completed maps are not re-executed —
-        a simplification noted in DESIGN.md.
-
-        Safe against the two untestable-in-production edges: a crash of an
-        already-dead node finds no running attempts (kill/requeue are
-        skipped per-attempt, so nothing is re-enqueued twice), and a crash
-        arriving after job completion only marks the node dead — the AM has
-        released every container and must not resurrect bookkeeping.
-        """
-        node.fail()
-        if self.job_done:
-            return
-        if self.obs is not None:
-            self.obs.trace.emit(
-                "node_failure", self.sim.now,
-                node=node.node_id,
-                running_maps=sum(
-                    1 for a in self.running_maps if a.node is node
-                ),
-                running_reduces=sum(
-                    1 for a in self.running_reduces if a.node is node
-                ),
-            )
-        for attempt, assignment in list(self.running_maps.items()):
-            if attempt.node is not node:
-                continue
-            if attempt.killed or attempt.finished:
-                continue  # already terminated; never requeue twice
-            container = self.map_containers.get(attempt)
-            attempt.kill()
-            if not self._has_live_copy(attempt.task_id, other_than=attempt):
-                self.requeue_map(assignment)
-            self.finalize_killed_map(attempt, container)
-        for attempt, container in list(self.running_reduces.items()):
-            if attempt.node is not node:
-                continue
-            attempt.kill()
-            self.running_reduces.pop(attempt, None)
-            self.trace.add(attempt.record)
-            self._reduce_speculated.discard(attempt.task_id)
-            still_running = any(
-                a.task_id == attempt.task_id for a in self.running_reduces
-            )
-            if attempt.task_id not in self._reduce_done_ids and not still_running:
-                self.pending_reducers += 1
-            self.rm.release(container)
-        self.rm.request_offers()
-
-    # ------------------------------------------------------------------
-    def _finish_job(self) -> None:
-        if self.job_done:
-            return
-        self.job_done = True
-        self.trace.finish_time = self.sim.now
-        self.heartbeat.stop()
-        self.rm.unregister(self)
-        if self.obs is not None:
-            self.sim.record_obs()
-            self.obs.trace.emit(
-                "job_end", self.sim.now,
-                jct=round(self.trace.jct, 3),
-                maps=len(self.trace.maps()),
-                reduces=len(self.trace.reduces()),
-            )
-
-    def _on_heartbeat(self, round_no: int) -> None:
-        if self.obs is not None:
-            self.obs.metrics.counter("am.heartbeat_rounds").inc()
-            self.sim.record_obs()
-            self.obs.trace.emit(
-                "heartbeat", self.sim.now, round=round_no,
-                running_maps=len(self.running_maps),
-                running_reduces=len(self.running_reduces),
-            )
-        self.on_tick(round_no)
-        # Engines with placement filters (FlexMap's reduce bias) may decline
-        # every free container in a round; retry on the next heartbeat so
-        # pending reducers cannot stall.  Running reduces also need periodic
-        # offers so idle containers can launch backups.
-        if self.reduce_started and (self.pending_reducers > 0 or self.running_reduces):
-            self.rm.request_offers()
+__all__ = [
+    "AMConfig",
+    "ApplicationMaster",
+    "MapAssignment",
+    "MapPhaseDriver",
+    "ReducePhaseDriver",
+    "TraceRecorder",
+]

@@ -28,8 +28,8 @@ from repro.sim.engine import Simulator
 from repro.yarn.container import Container
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.engines.base import ApplicationMaster
     from repro.multijob.policies import ClusterSchedulerPolicy
-    from repro.schedulers.base import ApplicationMaster
 
 
 class AppRecord:

@@ -1,9 +1,12 @@
 """API hygiene: every public module, class and function carries a docstring,
-and the declared public surfaces import cleanly."""
+the declared public surfaces import cleanly, and the package layering
+(sim -> hdfs/cluster -> yarn -> engines -> experiments/multijob) holds."""
 
+import ast
 import importlib
 import inspect
 import pkgutil
+from pathlib import Path
 
 import pytest
 
@@ -54,3 +57,122 @@ def test_subpackage_alls_resolve():
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", []):
             assert getattr(module, name, None) is not None, f"{module_name}.{name}"
+
+
+# ---------------------------------------------------------------------------
+# layering lint: the import graph between top-level repro packages is pinned.
+#
+# Only *load-bearing* imports count: module-level statements outside
+# ``if TYPE_CHECKING:`` blocks.  Annotation-only imports and imports inside
+# functions are free (they cannot create import-time cycles or hidden
+# runtime coupling).
+# ---------------------------------------------------------------------------
+SRC_ROOT = Path(repro.__file__).parent
+
+#: Every allowed package-level import edge.  An edge absent here is a
+#: layering violation: fix the import, or — if the dependency is genuinely
+#: part of the architecture — add it here *and* update DESIGN.md.
+ALLOWED_EDGES = {
+    "repro": {
+        "cluster", "core", "engines", "experiments", "mapreduce", "metrics",
+        "workloads",
+    },
+    "__main__": {"cli"},
+    "check": {"cluster", "engines", "hdfs", "mapreduce", "obs", "sim", "yarn"},
+    "cli": {"engines", "experiments", "workloads"},
+    "cluster": {"sim"},
+    # core -> engines exists only through the repro.core.flexmap_am
+    # deprecation shim; FlexMap's algorithm modules stay below engines.
+    "core": {"engines", "hdfs", "mapreduce"},
+    "engines": {
+        "cluster", "core", "hdfs", "mapreduce", "metrics", "obs", "sim",
+        "workloads", "yarn",
+    },
+    "experiments": {
+        "cluster", "core", "engines", "hdfs", "mapreduce", "metrics", "sim",
+        "workloads", "yarn",
+    },
+    "localrt": {"core"},
+    "mapreduce": {"cluster", "hdfs", "sim"},
+    "metrics": {"sim"},
+    "multijob": {
+        "core", "engines", "hdfs", "mapreduce", "obs", "sim", "workloads",
+        "yarn",
+    },
+    "obs": {"viz"},
+    "schedulers": {"engines"},  # pure deprecation shims
+    "viz": {"sim"},
+    "workloads": {"mapreduce"},
+    "yarn": {"cluster", "sim"},
+}
+
+
+def _runtime_imports(tree: ast.Module) -> set[str]:
+    """repro.* modules imported at module scope, outside TYPE_CHECKING."""
+    found: set[str] = set()
+
+    def visit(nodes, type_checking: bool) -> None:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.If):
+                guarded = type_checking or "TYPE_CHECKING" in ast.unparse(node.test)
+                visit(node.body, guarded)
+                visit(node.orelse, type_checking)
+                continue
+            if isinstance(node, (ast.Try, ast.ClassDef, ast.With)):
+                visit(node.body, type_checking)
+                continue
+            if type_checking:
+                continue
+            if isinstance(node, ast.Import):
+                found.update(
+                    a.name for a in node.names if a.name.startswith("repro")
+                )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.startswith("repro"):
+                    found.add(node.module)
+
+    visit(tree.body, False)
+    return found
+
+
+def _package_edges() -> dict[str, set[str]]:
+    """Import edges between top-level repro packages, from the source AST."""
+    edges: dict[str, set[str]] = {}
+    for py in sorted(SRC_ROOT.rglob("*.py")):
+        rel = py.relative_to(SRC_ROOT).with_suffix("")
+        parts = list(rel.parts)
+        if parts[-1] == "__init__":
+            parts.pop()
+        source_pkg = parts[0] if parts else "repro"
+        imports = _runtime_imports(ast.parse(py.read_text(), filename=str(py)))
+        for target in imports:
+            pieces = target.split(".")
+            target_pkg = pieces[1] if len(pieces) > 1 else "repro"
+            if target_pkg != source_pkg:
+                edges.setdefault(source_pkg, set()).add(target_pkg)
+    return edges
+
+
+def test_layering_edges_are_pinned():
+    for source, targets in sorted(_package_edges().items()):
+        extra = targets - ALLOWED_EDGES.get(source, set())
+        assert not extra, (
+            f"new import edge from repro.{source} into {sorted(extra)} — "
+            "layering violation (see DESIGN.md) or an intentional change "
+            "that must update ALLOWED_EDGES"
+        )
+
+
+def test_foundation_layers_import_nothing_above():
+    edges = _package_edges()
+    assert edges.get("sim", set()) == set(), "repro.sim must stay dependency-free"
+    assert edges.get("hdfs", set()) == set(), "repro.hdfs must stay dependency-free"
+
+
+def test_engines_and_multijob_never_import_experiments():
+    edges = _package_edges()
+    assert "experiments" not in edges.get("engines", set())
+    assert "experiments" not in edges.get("multijob", set())
+    assert "experiments" not in edges.get("check", set())

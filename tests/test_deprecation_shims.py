@@ -1,0 +1,80 @@
+"""The pre-refactor import paths keep working — and say where to go.
+
+``repro.schedulers.*`` and ``repro.core.flexmap_am`` became shims when the
+engine implementations moved under :mod:`repro.engines`.  Each shim must
+re-export the same objects (identity, not copies) and emit a
+``DeprecationWarning`` naming the new location on first import.
+"""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+#: (old module, symbol, new module) — every shimmed public name.
+SHIMS = [
+    ("repro.schedulers", "StockHadoopAM", "repro.engines.stock"),
+    ("repro.schedulers.base", "ApplicationMaster", "repro.engines.base"),
+    ("repro.schedulers.base", "AMConfig", "repro.engines.base"),
+    ("repro.schedulers.stock", "StockHadoopAM", "repro.engines.stock"),
+    ("repro.schedulers.skewtune", "SkewTuneAM", "repro.engines.skewtune"),
+    ("repro.schedulers.speculation", "SpeculationConfig", "repro.engines.speculation"),
+    ("repro.core.flexmap_am", "FlexMapAM", "repro.engines.flexmap"),
+]
+
+
+def _fresh_import(module_name):
+    """Import ``module_name`` from scratch, collecting warnings."""
+    for cached in [m for m in sys.modules if m == module_name]:
+        del sys.modules[cached]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module(module_name)
+    return module, caught
+
+
+@pytest.mark.parametrize("old_module,symbol,new_module", SHIMS)
+def test_shim_reexports_and_warns(old_module, symbol, new_module):
+    module, caught = _fresh_import(old_module)
+
+    # Same object, not a parallel implementation.
+    new = importlib.import_module(new_module)
+    assert getattr(module, symbol) is getattr(new, symbol)
+
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert deprecations, f"importing {old_module} emitted no DeprecationWarning"
+    message = str(deprecations[0].message)
+    assert "repro.engines" in message, (
+        f"{old_module}'s warning does not name the new package: {message!r}"
+    )
+
+
+def test_core_package_still_exposes_flexmap_lazily():
+    # ``repro.core.FlexMapAM`` resolves (via module __getattr__) without a
+    # deprecation warning and without eagerly importing the shim.
+    import repro.core as core
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        from repro.engines.flexmap import FlexMapAM
+
+        assert core.FlexMapAM is FlexMapAM
+    assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+def test_import_repro_emits_no_deprecation_warning():
+    saved = {
+        name: sys.modules.pop(name)
+        for name in list(sys.modules)
+        if name == "repro" or name.startswith("repro.")
+    }
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module("repro")
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ], "plain `import repro` must not touch deprecated paths"
+    finally:
+        sys.modules.update(saved)
